@@ -1,0 +1,282 @@
+//! Variant runner: build, transform, launch, and profile one benchmark
+//! variant (flat / basic-dp / consolidated×{warp,block,grid}).
+//!
+//! Every app supplies two modules — a flat (no-dp) implementation and an
+//! annotated basic-dp implementation — plus its host driver loop. The runner
+//! owns the boilerplate the paper's framework implies: applying the
+//! consolidation compiler for the consolidated variants, allocating the
+//! grid-level pool/barrier arrays, resetting consolidation state between
+//! host launches, and merging per-launch profiles.
+
+use std::collections::HashMap;
+
+use dpcons_core::{
+    consolidate, prepare_launch, reset_launch, ConfigPolicy, Consolidated, Directive,
+    Granularity, PreparedLaunch, TransformError,
+};
+use dpcons_ir::{install, IrError, Module};
+use dpcons_sim::{AllocKind, ArrayId, Engine, GpuConfig, KernelId, LaunchSpec, ProfileReport, SimError};
+
+/// Which implementation of a benchmark to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// Flat (no-dp) kernel: one thread per work element, loops inline.
+    Flat,
+    /// Basic dynamic parallelism: per-thread child launches (Fig. 1).
+    BasicDp,
+    /// Compiler-consolidated dynamic parallelism.
+    Consolidated(Granularity),
+}
+
+impl Variant {
+    pub fn label(self) -> String {
+        match self {
+            Variant::Flat => "no-dp".to_string(),
+            Variant::BasicDp => "basic-dp".to_string(),
+            Variant::Consolidated(g) => format!("{}-level", g.label()),
+        }
+    }
+
+    pub const ALL: [Variant; 5] = [
+        Variant::BasicDp,
+        Variant::Flat,
+        Variant::Consolidated(Granularity::Warp),
+        Variant::Consolidated(Granularity::Block),
+        Variant::Consolidated(Granularity::Grid),
+    ];
+}
+
+/// Errors from building or running a benchmark variant.
+#[derive(Debug)]
+pub enum AppError {
+    Sim(SimError),
+    Ir(IrError),
+    Transform(TransformError),
+    Driver(String),
+}
+
+impl std::fmt::Display for AppError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AppError::Sim(e) => write!(f, "simulator: {e}"),
+            AppError::Ir(e) => write!(f, "ir: {e}"),
+            AppError::Transform(e) => write!(f, "transform: {e}"),
+            AppError::Driver(m) => write!(f, "driver: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AppError {}
+
+impl From<SimError> for AppError {
+    fn from(e: SimError) -> Self {
+        AppError::Sim(e)
+    }
+}
+
+impl From<IrError> for AppError {
+    fn from(e: IrError) -> Self {
+        AppError::Ir(e)
+    }
+}
+
+impl From<TransformError> for AppError {
+    fn from(e: TransformError) -> Self {
+        AppError::Transform(e)
+    }
+}
+
+/// Execution configuration shared by all benchmarks.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    pub gpu: GpuConfig,
+    pub alloc: AllocKind,
+    /// Nested-kernel configuration policy; `None` = the paper's default
+    /// (KC_1 / KC_16 / KC_32 by granularity).
+    pub policy: Option<ConfigPolicy>,
+    /// Work-delegation threshold (`neighbors.size > THRESHOLD` in Fig. 1b).
+    pub threshold: i64,
+    pub heap_words: u64,
+    pub pool_words: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            gpu: GpuConfig::k20c(),
+            alloc: AllocKind::PreAlloc,
+            policy: None,
+            threshold: 4,
+            heap_words: 1 << 26, // 512 MB, the paper's default pool size
+            pool_words: 1 << 22,
+        }
+    }
+}
+
+/// Result of one benchmark run.
+#[derive(Debug, Clone)]
+pub struct AppOutcome {
+    pub report: ProfileReport,
+    /// App-defined primary output (distances, ranks, colors, counters...).
+    pub output: Vec<i64>,
+    pub host_iterations: u32,
+}
+
+/// One prepared variant: engine + installed module (+ consolidation info).
+pub struct VariantSession {
+    pub engine: Engine,
+    pub ids: HashMap<String, KernelId>,
+    pub cons: Option<Consolidated>,
+    pub cfg: RunConfig,
+    prep: Option<PreparedLaunch>,
+    pub total: ProfileReport,
+}
+
+impl VariantSession {
+    /// Build a session: pick/transform the module for `variant` and install
+    /// it into a fresh engine.
+    ///
+    /// * `module_dp` — the annotated basic-dp module (parent kernel
+    ///   `parent`); also used for the consolidated variants.
+    /// * `module_flat` — the flat implementation.
+    pub fn new(
+        module_dp: &Module,
+        module_flat: &Module,
+        parent: &str,
+        directive: &dyn Fn(Granularity) -> Directive,
+        variant: Variant,
+        cfg: &RunConfig,
+    ) -> Result<VariantSession, AppError> {
+        let (module, cons) = match variant {
+            Variant::Flat => (module_flat.clone(), None),
+            Variant::BasicDp => (module_dp.clone(), None),
+            Variant::Consolidated(g) => {
+                let mut dir = directive(g);
+                // The directive's buffer clause follows the session allocator
+                // so Fig. 5 can sweep allocators from RunConfig.
+                dir.buffer = match cfg.alloc {
+                    AllocKind::Default => dpcons_core::BufferKind::Default,
+                    AllocKind::Halloc => dpcons_core::BufferKind::Halloc,
+                    AllocKind::PreAlloc => dpcons_core::BufferKind::Custom,
+                };
+                let cons = consolidate(module_dp, parent, &dir, &cfg.gpu, cfg.policy)?;
+                (cons.module.clone(), Some(cons))
+            }
+        };
+        let mut engine = Engine::new(cfg.gpu.clone(), cfg.alloc, cfg.heap_words);
+        let ids = install(&mut engine, &module)?;
+        Ok(VariantSession {
+            engine,
+            ids,
+            cons,
+            cfg: cfg.clone(),
+            prep: None,
+            total: ProfileReport::default(),
+        })
+    }
+
+    pub fn alloc_array(&mut self, label: &str, data: Vec<i64>) -> ArrayId {
+        self.engine.mem.alloc_array_init(label, data)
+    }
+
+    /// Launch the benchmark's parent/entry kernel with the *original*
+    /// (basic-dp) arguments and configuration; the session translates to the
+    /// consolidated entry when needed.
+    pub fn launch_entry(
+        &mut self,
+        basic_entry: &str,
+        args: &[i64],
+        config: (u32, u32),
+    ) -> Result<(), AppError> {
+        let report = match &self.cons {
+            None => {
+                let id = *self
+                    .ids
+                    .get(basic_entry)
+                    .ok_or_else(|| AppError::Driver(format!("no kernel `{basic_entry}`")))?;
+                self.engine.launch(LaunchSpec::new(id, config.0, config.1, args.to_vec()))?
+            }
+            Some(cons) => {
+                if self.prep.is_none() {
+                    self.prep = Some(prepare_launch(
+                        &mut self.engine,
+                        &cons.info,
+                        &self.ids,
+                        args,
+                        config,
+                        self.cfg.pool_words,
+                    )?);
+                }
+                let mut prep = self.prep.take().expect("just set");
+                reset_launch(&mut self.engine, &mut prep)?;
+                let spec = prep.spec.clone();
+                self.prep = Some(prep);
+                self.engine.launch(spec)?
+            }
+        };
+        self.total.merge(&report);
+        Ok(())
+    }
+
+    /// Launch an auxiliary kernel that is not part of the consolidation
+    /// (e.g. PageRank's apply step, coloring's assign step).
+    pub fn launch_plain(
+        &mut self,
+        name: &str,
+        args: &[i64],
+        config: (u32, u32),
+    ) -> Result<(), AppError> {
+        let id = *self
+            .ids
+            .get(name)
+            .ok_or_else(|| AppError::Driver(format!("no kernel `{name}`")))?;
+        let report =
+            self.engine.launch(LaunchSpec::new(id, config.0, config.1, args.to_vec()))?;
+        self.total.merge(&report);
+        Ok(())
+    }
+
+    pub fn read(&self, a: ArrayId) -> Vec<i64> {
+        self.engine.mem.slice(a).expect("valid array").to_vec()
+    }
+
+    pub fn finish(self, output: Vec<i64>, host_iterations: u32) -> AppOutcome {
+        AppOutcome { report: self.total, output, host_iterations }
+    }
+}
+
+/// Shared interface for the seven benchmarks.
+pub trait Benchmark {
+    fn name(&self) -> &'static str;
+
+    /// Run one variant end to end.
+    fn run(&self, variant: Variant, cfg: &RunConfig) -> Result<AppOutcome, AppError>;
+
+    /// The exact expected output (CPU oracle).
+    fn reference(&self) -> Vec<i64>;
+
+    /// Run and check against the oracle; returns the profile on success.
+    fn verify(&self, variant: Variant, cfg: &RunConfig) -> Result<ProfileReport, AppError> {
+        let out = self.run(variant, cfg)?;
+        let expected = self.reference();
+        if out.output != expected {
+            let diffs = out
+                .output
+                .iter()
+                .zip(&expected)
+                .enumerate()
+                .filter(|(_, (a, b))| a != b)
+                .take(5)
+                .map(|(i, (a, b))| format!("[{i}] got {a} want {b}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            return Err(AppError::Driver(format!(
+                "{} ({}) output mismatch: {diffs}{}",
+                self.name(),
+                variant.label(),
+                if out.output.len() != expected.len() { " (length mismatch)" } else { "" },
+            )));
+        }
+        Ok(out.report)
+    }
+}

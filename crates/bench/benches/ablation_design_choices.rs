@@ -1,0 +1,51 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! pending-pool capacity (the cudaDeviceSetLimit effect), the delegation
+//! threshold, and the virtual-pool penalty sensitivity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpcons_apps::{all_benchmarks, Profile, RunConfig, Variant};
+use dpcons_core::Granularity;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for cap in [64u32, 2048, 8192] {
+        group.bench_function(BenchmarkId::new("pool_capacity", cap), |b| {
+            b.iter(|| {
+                let mut cfg = RunConfig::default();
+                cfg.gpu.fixed_pool_capacity = cap;
+                let apps = all_benchmarks(Profile::Test);
+                apps[0].run(Variant::BasicDp, &cfg).unwrap().report.total_cycles
+            })
+        });
+    }
+    for thr in [4i64, 32, 256] {
+        group.bench_function(BenchmarkId::new("threshold", thr), |b| {
+            b.iter(|| {
+                let cfg = RunConfig { threshold: thr, ..Default::default() };
+                let apps = all_benchmarks(Profile::Test);
+                apps[0]
+                    .run(Variant::Consolidated(Granularity::Grid), &cfg)
+                    .unwrap()
+                    .report
+                    .total_cycles
+            })
+        });
+    }
+    for penalty in [0u64, 12_000, 48_000] {
+        group.bench_function(BenchmarkId::new("virtual_pool_penalty", penalty), |b| {
+            b.iter(|| {
+                let mut cfg = RunConfig::default();
+                cfg.gpu.costs.virtual_pool_penalty_cycles = penalty;
+                let apps = all_benchmarks(Profile::Test);
+                apps[0].run(Variant::BasicDp, &cfg).unwrap().report.total_cycles
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion wrapper for Figure 5: SSSP under the three consolidation-buffer
+//! allocators, per granularity. Measures end-to-end simulation wall time;
+//! the simulated-cycle tables are produced by `reproduce fig5`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpcons_apps::{all_benchmarks, Profile, RunConfig, Variant};
+use dpcons_core::Granularity;
+use dpcons_sim::AllocKind;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_allocators");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for alloc in [AllocKind::Default, AllocKind::Halloc, AllocKind::PreAlloc] {
+        for g in Granularity::ALL {
+            let id = BenchmarkId::new(alloc.label(), g.label());
+            group.bench_function(id, |b| {
+                b.iter(|| {
+                    let cfg = RunConfig { alloc, ..Default::default() };
+                    let apps = all_benchmarks(Profile::Test);
+                    apps[0].run(Variant::Consolidated(g), &cfg).unwrap().report.total_cycles
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

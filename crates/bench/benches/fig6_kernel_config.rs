@@ -1,0 +1,39 @@
+//! Criterion wrapper for Figure 6: Tree Descendants under the nested-kernel
+//! configuration policies (KC_1 / KC_16 / KC_32 / 1-1). Simulated-cycle
+//! tables incl. exhaustive search come from `reproduce fig6`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpcons_apps::{datasets, Benchmark, Profile, RunConfig, TreeDescendants, Variant};
+use dpcons_core::{ConfigPolicy, Granularity};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_kernel_config");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    let policies = [
+        ("KC_1", ConfigPolicy::Kc(1)),
+        ("KC_16", ConfigPolicy::Kc(16)),
+        ("KC_32", ConfigPolicy::Kc(32)),
+        ("1-1", ConfigPolicy::OneToOne),
+    ];
+    for (pname, policy) in policies {
+        for g in Granularity::ALL {
+            let id = BenchmarkId::new(pname, g.label());
+            group.bench_function(id, |b| {
+                b.iter(|| {
+                    let cfg = RunConfig { policy: Some(policy), ..Default::default() };
+                    TreeDescendants::new(datasets::tree2(Profile::Test))
+                        .run(Variant::Consolidated(g), &cfg)
+                        .unwrap()
+                        .report
+                        .total_cycles
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

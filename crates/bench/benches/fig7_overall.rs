@@ -1,0 +1,28 @@
+//! Criterion wrapper for Figure 7: every benchmark x every variant.
+//! Simulated-cycle speedup tables come from `reproduce fig7`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpcons_apps::{all_benchmarks, Profile, RunConfig, Variant};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_overall");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    let names: Vec<_> = all_benchmarks(Profile::Test).iter().map(|a| a.name()).collect();
+    for (idx, name) in names.iter().enumerate() {
+        for variant in Variant::ALL {
+            let id = BenchmarkId::new(*name, variant.label());
+            group.bench_function(id, |b| {
+                b.iter(|| {
+                    let apps = all_benchmarks(Profile::Test);
+                    apps[idx].run(variant, &RunConfig::default()).unwrap().report.total_cycles
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion wrapper for Figures 8/9/10: the profiling sweep (warp execution
+//! efficiency, achieved occupancy, DRAM transactions) over the consolidation
+//! granularities. The metric tables come from `reproduce fig8 fig9 fig10`;
+//! this bench tracks the cost of producing them.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpcons_apps::{all_benchmarks, Profile, RunConfig, Variant};
+use dpcons_core::Granularity;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_9_10_profiling");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for g in Granularity::ALL {
+        group.bench_function(BenchmarkId::new("profiled_run", g.label()), |b| {
+            b.iter(|| {
+                let apps = all_benchmarks(Profile::Test);
+                let out = apps[4] // BFS-Rec: the most launch-heavy recursion
+                    .run(Variant::Consolidated(g), &RunConfig::default())
+                    .unwrap();
+                (
+                    out.report.warp_exec_efficiency,
+                    out.report.achieved_occupancy,
+                    out.report.dram_transactions,
+                )
+            })
+        });
+    }
+    group.bench_function("profiled_run/basic-dp", |b| {
+        b.iter(|| {
+            let apps = all_benchmarks(Profile::Test);
+            apps[4].run(Variant::BasicDp, &RunConfig::default()).unwrap().report.dram_transactions
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Microbenchmarks of the substrate itself: SIMT interpreter throughput,
+//! device-allocator operations, the consolidation transform, and the
+//! discrete-event timing engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpcons_core::{consolidate, Granularity};
+use dpcons_ir::dsl::*;
+use dpcons_ir::{install, Module};
+use dpcons_sim::{AllocKind, CostModel, DeviceHeap, Engine, GlobalMem, GpuConfig, LaunchSpec};
+
+fn interp_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interpreter");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(20);
+    group.bench_function("vector_add_64k", |b| {
+        let m = {
+            let mut m = Module::new();
+            m.add(KernelBuilder::new("vadd").array("a").array("b").array("out").scalar("n").body(
+                vec![when(
+                    lt(gtid(), v("n")),
+                    vec![store(
+                        v("out"),
+                        gtid(),
+                        add(load(v("a"), gtid()), load(v("b"), gtid())),
+                    )],
+                )],
+            ));
+            m
+        };
+        b.iter(|| {
+            let mut e = Engine::new(GpuConfig::k20c(), AllocKind::PreAlloc, 1 << 12);
+            let n = 1 << 16;
+            let a = e.mem.alloc_array_init("a", vec![1; n]);
+            let bb = e.mem.alloc_array_init("b", vec![2; n]);
+            let out = e.mem.alloc_array("out", n);
+            let ids = install(&mut e, &m).unwrap();
+            e.launch(LaunchSpec::new(
+                ids["vadd"],
+                (n as u32).div_ceil(256),
+                256,
+                vec![a as i64, bb as i64, out as i64, n as i64],
+            ))
+            .unwrap()
+            .total_cycles
+        })
+    });
+    group.finish();
+}
+
+fn allocators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("device_allocators");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for kind in [AllocKind::Default, AllocKind::Halloc, AllocKind::PreAlloc] {
+        group.bench_function(BenchmarkId::new("alloc_free_1k", kind.label()), |b| {
+            b.iter(|| {
+                let mut mem = GlobalMem::new();
+                let mut h = DeviceHeap::new(kind, 1 << 20, &mut mem);
+                let cost = CostModel::default();
+                let mut offs = Vec::with_capacity(1000);
+                for i in 0..1000u64 {
+                    offs.push((h.alloc(32 + i % 64, &cost).unwrap(), 32 + i % 64));
+                }
+                for (o, w) in offs {
+                    h.free(o, w, &cost);
+                }
+                h.stats.allocs
+            })
+        });
+    }
+    group.finish();
+}
+
+fn transform_speed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compiler");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("consolidate_sssp_grid", |b| {
+        let m = dpcons_apps::Sssp::module_dp();
+        let d = dpcons_apps::Sssp::directive(Granularity::Grid);
+        let gpu = GpuConfig::k20c();
+        b.iter(|| consolidate(&m, "sssp_parent", &d, &gpu, None).unwrap().module.kernels.len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, interp_throughput, allocators, transform_speed);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Reproduce every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! reproduce [fig5] [fig6] [fig7] [fig8] [fig9] [fig10] [ablations] [verify] [all]
+//!           [--profile test|bench] [--markdown]
+//! ```
+//!
+//! With no figure argument, everything runs. `--profile bench` (default) uses
+//! the scaled-dataset shapes described in DESIGN.md; `--profile test` runs a
+//! fast smoke pass. `--markdown` emits GitHub tables (used to build
+//! EXPERIMENTS.md).
+
+use std::time::Instant;
+
+use dpcons_apps::{Profile, RunConfig};
+use dpcons_bench::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut profile = Profile::Bench;
+    let mut markdown = false;
+    let mut figs: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--profile" => match it.next().map(String::as_str) {
+                Some("test") => profile = Profile::Test,
+                Some("bench") => profile = Profile::Bench,
+                other => {
+                    eprintln!("unknown profile {other:?}");
+                    std::process::exit(2);
+                }
+            },
+            "--markdown" => markdown = true,
+            f => figs.push(f.to_string()),
+        }
+    }
+    if figs.is_empty() || figs.iter().any(|f| f == "all") {
+        figs = ["verify", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "headline", "ablations"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    }
+
+    let cfg = RunConfig::default();
+    let emit = |t: &Table| {
+        if markdown {
+            println!("{}", t.render_markdown());
+        } else {
+            println!("{}", t.render());
+        }
+    };
+
+    println!(
+        "# dpcons reproduction — profile: {:?}, device: {}, threshold: {}\n",
+        profile, cfg.gpu.name, cfg.threshold
+    );
+
+    // Figures 7-10 share one profiled sweep.
+    let needs_matrix = figs
+        .iter()
+        .any(|f| matches!(f.as_str(), "fig7" | "fig8" | "fig9" | "fig10" | "headline"));
+    let matrix = if needs_matrix {
+        let t0 = Instant::now();
+        let m = overall_matrix(profile, &cfg);
+        eprintln!("[overall sweep finished in {:.1}s]", t0.elapsed().as_secs_f64());
+        Some(m)
+    } else {
+        None
+    };
+
+    for f in &figs {
+        let t0 = Instant::now();
+        match f.as_str() {
+            "verify" => {
+                let failures = verify_all(Profile::Test, &cfg);
+                if failures.is_empty() {
+                    println!("verify: all 7 benchmarks x 5 variants match the CPU oracle\n");
+                } else {
+                    eprintln!("VERIFICATION FAILURES:\n{}", failures.join("\n"));
+                    std::process::exit(1);
+                }
+            }
+            "fig5" => emit(&fig5_allocators(profile, &cfg)),
+            "fig6" => emit(&fig6_kernel_config(profile, &cfg)),
+            "fig7" => emit(&fig7_overall(matrix.as_ref().expect("matrix"))),
+            "fig8" => emit(&fig8_warp_efficiency(matrix.as_ref().expect("matrix"))),
+            "fig9" => emit(&fig9_occupancy(matrix.as_ref().expect("matrix"))),
+            "fig10" => emit(&fig10_dram(matrix.as_ref().expect("matrix"))),
+            "headline" => emit(&headline_claims(matrix.as_ref().expect("matrix"))),
+            "ablations" => {
+                emit(&ablation_pool_capacity(profile, &cfg));
+                emit(&ablation_threshold(profile, &cfg));
+            }
+            other => {
+                eprintln!("unknown experiment `{other}`");
+                std::process::exit(2);
+            }
+        }
+        eprintln!("[{f} finished in {:.1}s]", t0.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,200 @@
+//! Occupancy calculator and nested-kernel configuration policies.
+//!
+//! Section IV.E "Kernel Configuration Handling": the CUDA Occupancy
+//! Calculator finds a `(B, T)` configuration maximizing single-kernel
+//! occupancy, but concurrent kernels launched with dynamic parallelism share
+//! the device, so the configuration must be *downgraded* to allow a target
+//! Kernel Concurrency (KC): `KC_X = (ceil(B / X), T)`. The paper's policy:
+//! `KC_1` for grid-level, `KC_16` for block-level, `KC_32` for warp-level
+//! consolidation, which Figure 6 shows reaches ~97% of exhaustive search.
+
+use dpcons_sim::GpuConfig;
+
+/// Resource requirements of a kernel, as used by the occupancy calculator
+/// and the SM residency model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelResources {
+    pub regs_per_thread: u32,
+    pub shared_bytes: u32,
+}
+
+impl Default for KernelResources {
+    fn default() -> Self {
+        KernelResources { regs_per_thread: 32, shared_bytes: 0 }
+    }
+}
+
+/// Maximum resident blocks per SM for a given block size and resource usage.
+pub fn max_blocks_per_sm(gpu: &GpuConfig, threads_per_block: u32, res: KernelResources) -> u32 {
+    if threads_per_block == 0 || threads_per_block > gpu.max_threads_per_block {
+        return 0;
+    }
+    let threads = threads_per_block.div_ceil(gpu.warp_size) * gpu.warp_size;
+    let by_blocks = gpu.max_blocks_per_sm;
+    let by_threads = gpu.max_threads_per_sm / threads;
+    let by_regs = if res.regs_per_thread == 0 {
+        u32::MAX
+    } else {
+        gpu.registers_per_sm / (res.regs_per_thread * threads)
+    };
+    let by_shared = if res.shared_bytes == 0 {
+        u32::MAX
+    } else {
+        gpu.shared_mem_per_sm / res.shared_bytes
+    };
+    by_blocks.min(by_threads).min(by_regs).min(by_shared)
+}
+
+/// Theoretical occupancy (active warps / max warps per SM) for a block size.
+pub fn occupancy(gpu: &GpuConfig, threads_per_block: u32, res: KernelResources) -> f64 {
+    let blocks = max_blocks_per_sm(gpu, threads_per_block, res);
+    let warps = threads_per_block.div_ceil(gpu.warp_size);
+    (blocks * warps) as f64 / gpu.max_warps_per_sm as f64
+}
+
+/// Block sizes the calculator searches (multiples used in practice).
+const CANDIDATE_BLOCK_SIZES: [u32; 8] = [64, 128, 192, 256, 384, 512, 768, 1024];
+
+/// The CUDA-Occupancy-Calculator-style single-kernel optimum: the `(B, T)`
+/// filling every SM at the occupancy-maximizing block size.
+pub fn best_single_kernel_config(gpu: &GpuConfig, res: KernelResources) -> (u32, u32) {
+    let mut best = (gpu.num_sms, 64u32);
+    let mut best_occ = -1.0f64;
+    for &t in &CANDIDATE_BLOCK_SIZES {
+        if t > gpu.max_threads_per_block {
+            continue;
+        }
+        let occ = occupancy(gpu, t, res);
+        // Prefer higher occupancy; tie-break toward smaller blocks (more
+        // scheduling freedom for the consolidated fetch loops).
+        if occ > best_occ + 1e-12 {
+            best_occ = occ;
+            best = (max_blocks_per_sm(gpu, t, res) * gpu.num_sms, t);
+        }
+    }
+    (best.0.max(1), best.1)
+}
+
+/// Configuration policy for consolidated child kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigPolicy {
+    /// `KC_X`: downgrade the single-kernel optimum to allow X concurrent
+    /// kernels: `(ceil(B/X), T)`.
+    Kc(u32),
+    /// One block (or thread, for thread-mapped children) per buffered item;
+    /// the launch configuration depends on the runtime buffer count.
+    OneToOne,
+    /// Explicit `(blocks, threads)` from the directive's `blocks`/`threads`
+    /// clauses.
+    Custom(u32, u32),
+}
+
+impl ConfigPolicy {
+    /// The paper's default policy per consolidation granularity.
+    pub fn default_for(g: crate::directive::Granularity) -> ConfigPolicy {
+        match g {
+            crate::directive::Granularity::Grid => ConfigPolicy::Kc(1),
+            crate::directive::Granularity::Block => ConfigPolicy::Kc(16),
+            crate::directive::Granularity::Warp => ConfigPolicy::Kc(32),
+        }
+    }
+
+    /// Resolve to a static `(B, T)` if the policy is static.
+    pub fn resolve(&self, gpu: &GpuConfig, res: KernelResources) -> Option<(u32, u32)> {
+        match self {
+            ConfigPolicy::Kc(x) => {
+                let (b, t) = best_single_kernel_config(gpu, res);
+                Some((b.div_ceil((*x).max(1)).max(1), t))
+            }
+            ConfigPolicy::OneToOne => None,
+            ConfigPolicy::Custom(b, t) => Some((*b, *t)),
+        }
+    }
+
+    pub fn label(&self) -> String {
+        match self {
+            ConfigPolicy::Kc(x) => format!("KC_{x}"),
+            ConfigPolicy::OneToOne => "1-1".to_string(),
+            ConfigPolicy::Custom(b, t) => format!("custom({b},{t})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::directive::Granularity;
+
+    #[test]
+    fn k20c_occupancy_hand_checked() {
+        let g = GpuConfig::k20c();
+        let res = KernelResources::default();
+        // 256 threads, 32 regs: thread-limited to 2048/256 = 8 blocks
+        // (registers: 65536/(32*256) = 8 too); 8 blocks * 8 warps = 64 warps
+        // = full occupancy.
+        assert_eq!(max_blocks_per_sm(&g, 256, res), 8);
+        assert!((occupancy(&g, 256, res) - 1.0).abs() < 1e-12);
+        // 64 threads: capped by the 16-block limit -> 16*2 = 32 warps = 50%.
+        assert_eq!(max_blocks_per_sm(&g, 64, res), 16);
+        assert!((occupancy(&g, 64, res) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn register_pressure_limits_blocks() {
+        let g = GpuConfig::k20c();
+        let heavy = KernelResources { regs_per_thread: 128, shared_bytes: 0 };
+        // 65536 / (128 * 256) = 2 blocks.
+        assert_eq!(max_blocks_per_sm(&g, 256, heavy), 2);
+        assert!(occupancy(&g, 256, heavy) < 0.5);
+    }
+
+    #[test]
+    fn shared_memory_limits_blocks() {
+        let g = GpuConfig::k20c();
+        let shared = KernelResources { regs_per_thread: 16, shared_bytes: 24 * 1024 };
+        assert_eq!(max_blocks_per_sm(&g, 128, shared), 2);
+    }
+
+    #[test]
+    fn best_config_fills_device() {
+        let g = GpuConfig::k20c();
+        let (b, t) = best_single_kernel_config(&g, KernelResources::default());
+        // Full occupancy achievable: B covers all SMs at max residency.
+        assert!((occupancy(&g, t, KernelResources::default()) - 1.0).abs() < 1e-12);
+        assert_eq!(b, max_blocks_per_sm(&g, t, KernelResources::default()) * g.num_sms);
+    }
+
+    #[test]
+    fn kc_downgrades_block_count() {
+        let g = GpuConfig::k20c();
+        let res = KernelResources::default();
+        let (b1, t1) = ConfigPolicy::Kc(1).resolve(&g, res).unwrap();
+        let (b16, t16) = ConfigPolicy::Kc(16).resolve(&g, res).unwrap();
+        let (b32, t32) = ConfigPolicy::Kc(32).resolve(&g, res).unwrap();
+        assert_eq!(t1, t16);
+        assert_eq!(t16, t32);
+        assert!(b1 >= 16 * b16 - 16 && b1 <= 16 * b16);
+        assert!(b32 >= 1 && b32 <= b16);
+        assert_eq!(b16, b1.div_ceil(16));
+    }
+
+    #[test]
+    fn default_policies_match_paper() {
+        assert_eq!(ConfigPolicy::default_for(Granularity::Grid), ConfigPolicy::Kc(1));
+        assert_eq!(ConfigPolicy::default_for(Granularity::Block), ConfigPolicy::Kc(16));
+        assert_eq!(ConfigPolicy::default_for(Granularity::Warp), ConfigPolicy::Kc(32));
+    }
+
+    #[test]
+    fn one_to_one_is_dynamic() {
+        let g = GpuConfig::k20c();
+        assert_eq!(ConfigPolicy::OneToOne.resolve(&g, KernelResources::default()), None);
+    }
+
+    #[test]
+    fn oversized_blocks_rejected() {
+        let g = GpuConfig::k20c();
+        assert_eq!(max_blocks_per_sm(&g, 2048, KernelResources::default()), 0);
+        assert_eq!(max_blocks_per_sm(&g, 0, KernelResources::default()), 0);
+    }
+}

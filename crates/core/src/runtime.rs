@@ -1,0 +1,179 @@
+//! Host-side launch support for consolidated kernels.
+//!
+//! The consolidation transforms change what the host must do before a launch:
+//! grid-level kernels receive a pre-allocated buffer pool and a global-barrier
+//! counter, and consolidated recursive kernels are launched over a *seeded*
+//! work buffer instead of the original root configuration. This module
+//! encapsulates that setup so that applications (and tests) can launch any
+//! transformed module uniformly.
+
+use std::collections::HashMap;
+
+use dpcons_sim::{ArrayId, Engine, KernelId, LaunchSpec, SimError};
+
+use crate::directive::Granularity;
+use crate::occupancy::ConfigPolicy;
+use crate::transform::TransformInfo;
+
+/// Everything allocated for a consolidated host launch.
+#[derive(Debug, Clone)]
+pub struct PreparedLaunch {
+    pub spec: LaunchSpec,
+    /// Grid-level buffer pool (also the level pool for recursion).
+    pub pool: Option<ArrayId>,
+    /// Global-barrier counters (one per recursion level).
+    pub counter: Option<ArrayId>,
+    /// Host-seeded level-0 buffer for warp/block-level recursion.
+    pub seed_buf: Option<ArrayId>,
+    /// The parent grid size the barrier counter must be reset to.
+    counter_init: i64,
+    /// Seed items re-written by [`reset_launch`].
+    seed_items: Vec<i64>,
+    grid_level: bool,
+}
+
+/// Number of barrier-counter slots allocated (device nesting limit + root).
+const COUNTER_SLOTS: usize = 26;
+
+/// Prepare a host launch of the consolidated entry kernel.
+///
+/// * `original_args` — the argument list of the *original* (basic-dp) host
+///   launch of the annotated kernel.
+/// * `original_config` — the original `(grid, block)` host configuration.
+/// * `pool_words` — capacity of the grid-level pool when one is needed.
+pub fn prepare_launch(
+    engine: &mut Engine,
+    info: &TransformInfo,
+    ids: &HashMap<String, KernelId>,
+    original_args: &[i64],
+    original_config: (u32, u32),
+    pool_words: u64,
+) -> Result<PreparedLaunch, SimError> {
+    let entry_id = *ids.get(&info.entry).ok_or(SimError::UnknownKernel { id: usize::MAX })?;
+
+    if !info.recursive {
+        let mut args = original_args.to_vec();
+        let (mut pool, mut counter, mut counter_init, mut grid_level) = (None, None, 0, false);
+        if let Some(extras) = &info.grid_extras {
+            let p = engine.mem.alloc_array("__cons_pool", pool_words as usize);
+            let c = engine.mem.alloc_array(&extras.counter_param, COUNTER_SLOTS);
+            counter_init = original_config.0 as i64;
+            engine.mem.write(c, 0, counter_init)?;
+            args.push(p as i64);
+            args.push(c as i64);
+            pool = Some(p);
+            counter = Some(c);
+            grid_level = true;
+        }
+        return Ok(PreparedLaunch {
+            spec: LaunchSpec::new(entry_id, original_config.0, original_config.1, args),
+            pool,
+            counter,
+            seed_buf: None,
+            counter_init,
+            seed_items: Vec::new(),
+            grid_level,
+        });
+    }
+
+    // Recursion: seed the level-0 buffer with one work item taken from the
+    // original host arguments at the buffered positions.
+    let seed_items: Vec<i64> =
+        info.buffered_positions.iter().map(|&p| original_args[p]).collect();
+    let mut args: Vec<i64> =
+        info.passthrough_positions.iter().map(|&p| original_args[p]).collect();
+
+    let (grid, block) = entry_config(info, 1);
+
+    let mut prepared = match info.granularity {
+        Granularity::Grid => {
+            let extras = info.grid_extras.as_ref().expect("grid recursion has extras");
+            let p = engine.mem.alloc_array("__cons_pool", pool_words as usize);
+            let c = engine.mem.alloc_array(&extras.counter_param, COUNTER_SLOTS);
+            args.push(p as i64);
+            args.push(c as i64);
+            args.push(0); // level
+            PreparedLaunch {
+                spec: LaunchSpec::new(entry_id, grid, block, args),
+                pool: Some(p),
+                counter: Some(c),
+                seed_buf: None,
+                counter_init: grid as i64,
+                seed_items,
+                grid_level: true,
+            }
+        }
+        _ => {
+            let cap = 1 + seed_items.len();
+            let b = engine.mem.alloc_array("__cons_seed", cap.max(2));
+            args.push(b as i64);
+            args.push(0); // offset
+            PreparedLaunch {
+                spec: LaunchSpec::new(entry_id, grid, block, args),
+                pool: None,
+                counter: None,
+                seed_buf: Some(b),
+                counter_init: 0,
+                seed_items,
+                grid_level: false,
+            }
+        }
+    };
+    reset_launch(engine, &mut prepared)?;
+    Ok(prepared)
+}
+
+/// Reset the consolidation state before (re-)launching: zero the pool counts,
+/// reinitialize the barrier counter, and re-seed recursion work items. Must
+/// be called between host launches that reuse a `PreparedLaunch`.
+pub fn reset_launch(engine: &mut Engine, p: &mut PreparedLaunch) -> Result<(), SimError> {
+    if let Some(pool) = p.pool {
+        engine.mem.fill(pool, 0)?;
+        if !p.seed_items.is_empty() {
+            // One seeded work item: count = 1, its nv values right after.
+            engine.mem.write(pool, 0, 1)?;
+            for (j, &x) in p.seed_items.iter().enumerate() {
+                engine.mem.write(pool, 1 + j, x)?;
+            }
+        }
+    }
+    if let Some(c) = p.counter {
+        engine.mem.fill(c, 0)?;
+        engine.mem.write(c, 0, p.counter_init)?;
+    }
+    if let Some(b) = p.seed_buf {
+        engine.mem.fill(b, 0)?;
+        engine.mem.write(b, 0, 1)?;
+        for (j, &x) in p.seed_items.iter().enumerate() {
+            engine.mem.write(b, 1 + j, x)?;
+        }
+    }
+    let _ = p.grid_level;
+    engine.heap.reset();
+    Ok(())
+}
+
+/// Host launch configuration for a consolidated recursive entry kernel
+/// processing `items` seeded work items.
+fn entry_config(info: &TransformInfo, items: u32) -> (u32, u32) {
+    match (info.child_config, info.resolved_config) {
+        (ConfigPolicy::OneToOne, _) => match info.child_class {
+            crate::analysis::ChildClass::SoloThread => {
+                (items.div_ceil(1024).max(1), items.clamp(1, 1024))
+            }
+            _ => (items.max(1), 256),
+        },
+        (_, Some((b, t))) => (b, t),
+        (_, None) => (items.max(1), 256),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_slots_cover_nesting_limit() {
+        assert!(COUNTER_SLOTS as u32 > dpcons_sim::GpuConfig::k20c().max_nesting_depth);
+    }
+}

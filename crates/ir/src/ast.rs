@@ -1,0 +1,326 @@
+//! Name-based kernel AST.
+//!
+//! This is the program representation the consolidation compiler transforms.
+//! It deliberately mirrors the subset of CUDA C that the paper's code
+//! template (Fig. 1a) uses: scalar/array parameters, local variables, loops,
+//! conditionals, global-memory loads/stores, atomics, abstract compute,
+//! device-side kernel launches, `__syncthreads`, `cudaDeviceSynchronize`, and
+//! device-side buffer allocation.
+//!
+//! Variables are referenced by name; [`crate::compile`] resolves names to
+//! slots and validates the program before execution.
+
+/// Binary operators. Comparisons and logic yield 0/1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Min,
+    Max,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    LAnd,
+    LOr,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    Neg,
+    Not,
+}
+
+/// Expressions evaluate to an `i64` per lane.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    I(i64),
+    /// Global thread id: `blockIdx.x * blockDim.x + threadIdx.x`.
+    Gtid,
+    /// `threadIdx.x`.
+    Tid,
+    /// `blockIdx.x`.
+    CtaId,
+    /// `blockDim.x`.
+    NTid,
+    /// `gridDim.x`.
+    NCta,
+    /// Dynamic-parallelism nesting depth of the executing kernel.
+    Depth,
+    /// Named reference: resolves to a kernel parameter or a local variable.
+    Ref(String),
+    /// `handle[index]` load from global memory.
+    Load(Box<Expr>, Box<Expr>),
+    Un(UnOp, Box<Expr>),
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+}
+
+/// Atomic read-modify-write operations on global memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AtomicOp {
+    Add,
+    Min,
+    Max,
+    Exch,
+    /// Compare-and-swap: `value` is the comparand, `value2` the desired value.
+    Cas,
+}
+
+/// Scope of a device-side buffer allocation: how many threads share the
+/// resulting buffer (Section IV.B consolidation granularities).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AllocScope {
+    /// One buffer per warp (implicit SIMD synchronization).
+    Warp,
+    /// One buffer per block (`tid == 0` allocates, `__syncthreads`, broadcast).
+    Block,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Declare and initialize a local variable.
+    Let(String, Expr),
+    /// Assign an existing local variable.
+    Assign(String, Expr),
+    /// `handle[index] = value`.
+    Store(Expr, Expr, Expr),
+    /// Atomic RMW; optionally binds the old value to a fresh local.
+    Atomic {
+        op: AtomicOp,
+        /// Local that receives the old value (declared by this statement).
+        old: Option<String>,
+        handle: Expr,
+        index: Expr,
+        value: Expr,
+        /// Second operand for CAS (the desired value).
+        value2: Option<Expr>,
+    },
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    While(Expr, Vec<Stmt>),
+    /// `for (var = lo; var < hi; var += step)`.
+    For { var: String, lo: Expr, hi: Expr, step: Expr, body: Vec<Stmt> },
+    /// Abstract computation of `units` work units per active lane.
+    Compute(Expr),
+    /// Device-side kernel launch: one child grid per active lane.
+    Launch { kernel: String, grid: Expr, block: Expr, args: Vec<Expr> },
+    /// `__syncthreads()`.
+    Sync,
+    /// `cudaDeviceSynchronize()` — wait for this block's child kernels.
+    DeviceSync,
+    /// Device-side buffer allocation from the consolidation heap. Binds two
+    /// fresh locals: the heap array handle and the word offset of the buffer.
+    Alloc { handle_var: String, offset_var: String, words: Expr, scope: AllocScope },
+    /// Early exit for the remaining active lanes.
+    Return,
+}
+
+/// Kernel parameter kinds. Arrays are passed as device-pointer handles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamKind {
+    Scalar,
+    Array,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    pub name: String,
+    pub kind: ParamKind,
+}
+
+/// A GPU kernel: signature, body, and resource metadata used by the
+/// occupancy calculator and the SM residency model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kernel {
+    pub name: String,
+    pub params: Vec<Param>,
+    pub body: Vec<Stmt>,
+    pub regs_per_thread: u32,
+    pub shared_bytes: u32,
+}
+
+impl Kernel {
+    pub fn new(name: &str) -> Self {
+        Kernel {
+            name: name.to_string(),
+            params: Vec::new(),
+            body: Vec::new(),
+            regs_per_thread: 32,
+            shared_bytes: 0,
+        }
+    }
+
+    pub fn param_index(&self, name: &str) -> Option<usize> {
+        self.params.iter().position(|p| p.name == name)
+    }
+}
+
+/// A compilation unit: a set of kernels that may launch each other.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Module {
+    pub kernels: Vec<Kernel>,
+}
+
+impl Module {
+    pub fn new() -> Self {
+        Module { kernels: Vec::new() }
+    }
+
+    pub fn add(&mut self, k: Kernel) -> &mut Self {
+        self.kernels.push(k);
+        self
+    }
+
+    pub fn get(&self, name: &str) -> Option<&Kernel> {
+        self.kernels.iter().find(|k| k.name == name)
+    }
+
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut Kernel> {
+        self.kernels.iter_mut().find(|k| k.name == name)
+    }
+
+    pub fn contains(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+
+    /// Replace a kernel in place (used by the consolidation transforms).
+    pub fn replace(&mut self, k: Kernel) {
+        if let Some(slot) = self.kernels.iter_mut().find(|x| x.name == k.name) {
+            *slot = k;
+        } else {
+            self.kernels.push(k);
+        }
+    }
+}
+
+/// Walk an expression tree, calling `f` on every node.
+pub fn visit_expr<'a>(e: &'a Expr, f: &mut impl FnMut(&'a Expr)) {
+    f(e);
+    match e {
+        Expr::Load(h, i) => {
+            visit_expr(h, f);
+            visit_expr(i, f);
+        }
+        Expr::Un(_, a) => visit_expr(a, f),
+        Expr::Bin(_, a, b) => {
+            visit_expr(a, f);
+            visit_expr(b, f);
+        }
+        _ => {}
+    }
+}
+
+/// Walk all expressions contained in a statement (not recursing into nested
+/// statement bodies).
+pub fn stmt_exprs<'a>(s: &'a Stmt, f: &mut impl FnMut(&'a Expr)) {
+    match s {
+        Stmt::Let(_, e) | Stmt::Assign(_, e) | Stmt::Compute(e) => visit_expr(e, f),
+        Stmt::Store(h, i, v) => {
+            visit_expr(h, f);
+            visit_expr(i, f);
+            visit_expr(v, f);
+        }
+        Stmt::Atomic { handle, index, value, value2, .. } => {
+            visit_expr(handle, f);
+            visit_expr(index, f);
+            visit_expr(value, f);
+            if let Some(v2) = value2 {
+                visit_expr(v2, f);
+            }
+        }
+        Stmt::If(c, _, _) | Stmt::While(c, _) => visit_expr(c, f),
+        Stmt::For { lo, hi, step, .. } => {
+            visit_expr(lo, f);
+            visit_expr(hi, f);
+            visit_expr(step, f);
+        }
+        Stmt::Launch { grid, block, args, .. } => {
+            visit_expr(grid, f);
+            visit_expr(block, f);
+            for a in args {
+                visit_expr(a, f);
+            }
+        }
+        Stmt::Alloc { words, .. } => visit_expr(words, f),
+        Stmt::Sync | Stmt::DeviceSync | Stmt::Return => {}
+    }
+}
+
+/// Walk a statement tree depth-first, calling `f` on every statement.
+pub fn visit_stmts<'a>(stmts: &'a [Stmt], f: &mut impl FnMut(&'a Stmt)) {
+    for s in stmts {
+        f(s);
+        match s {
+            Stmt::If(_, t, e) => {
+                visit_stmts(t, f);
+                visit_stmts(e, f);
+            }
+            Stmt::While(_, b) | Stmt::For { body: b, .. } => visit_stmts(b, f),
+            _ => {}
+        }
+    }
+}
+
+/// Names referenced (read) by an expression.
+pub fn expr_refs(e: &Expr) -> Vec<String> {
+    let mut out = Vec::new();
+    visit_expr(e, &mut |x| {
+        if let Expr::Ref(n) = x {
+            out.push(n.clone());
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::*;
+
+    #[test]
+    fn module_add_get_replace() {
+        let mut m = Module::new();
+        m.add(Kernel::new("a"));
+        m.add(Kernel::new("b"));
+        assert!(m.contains("a"));
+        assert!(!m.contains("c"));
+        let mut a2 = Kernel::new("a");
+        a2.regs_per_thread = 64;
+        m.replace(a2);
+        assert_eq!(m.get("a").unwrap().regs_per_thread, 64);
+        assert_eq!(m.kernels.len(), 2);
+    }
+
+    #[test]
+    fn expr_refs_finds_all_names() {
+        let e = add(v("x"), load(v("arr"), mul(v("y"), i(2))));
+        let mut refs = expr_refs(&e);
+        refs.sort();
+        assert_eq!(refs, vec!["arr", "x", "y"]);
+    }
+
+    #[test]
+    fn visit_stmts_descends_into_bodies() {
+        let body = vec![
+            let_("x", i(0)),
+            if_(
+                lt(v("x"), i(10)),
+                vec![while_(i(1), vec![assign("x", add(v("x"), i(1)))])],
+                vec![for_("j", i(0), i(4), vec![compute(i(1))])],
+            ),
+        ];
+        let mut count = 0;
+        visit_stmts(&body, &mut |_| count += 1);
+        assert_eq!(count, 6);
+    }
+}

@@ -1,0 +1,328 @@
+//! Ergonomic constructors for building kernel ASTs in Rust.
+//!
+//! The benchmark applications and the consolidation transforms both build IR
+//! through these helpers; they read roughly like the CUDA sources in the
+//! paper's figures.
+
+use crate::ast::*;
+
+// --------------------------------------------------------------- exprs ----
+
+/// Integer literal.
+pub fn i(v: i64) -> Expr {
+    Expr::I(v)
+}
+
+/// Named reference (parameter or local).
+pub fn v(name: &str) -> Expr {
+    Expr::Ref(name.to_string())
+}
+
+/// Global thread id (`blockIdx.x * blockDim.x + threadIdx.x`).
+pub fn gtid() -> Expr {
+    Expr::Gtid
+}
+
+pub fn tid() -> Expr {
+    Expr::Tid
+}
+
+pub fn cta_id() -> Expr {
+    Expr::CtaId
+}
+
+pub fn ntid() -> Expr {
+    Expr::NTid
+}
+
+pub fn ncta() -> Expr {
+    Expr::NCta
+}
+
+pub fn depth() -> Expr {
+    Expr::Depth
+}
+
+pub fn load(handle: Expr, index: Expr) -> Expr {
+    Expr::Load(Box::new(handle), Box::new(index))
+}
+
+fn bin(op: BinOp, a: Expr, b: Expr) -> Expr {
+    Expr::Bin(op, Box::new(a), Box::new(b))
+}
+
+pub fn add(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::Add, a, b)
+}
+
+pub fn sub(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::Sub, a, b)
+}
+
+pub fn mul(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::Mul, a, b)
+}
+
+pub fn div(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::Div, a, b)
+}
+
+pub fn rem(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::Rem, a, b)
+}
+
+pub fn min_(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::Min, a, b)
+}
+
+pub fn max_(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::Max, a, b)
+}
+
+pub fn eq(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::Eq, a, b)
+}
+
+pub fn ne(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::Ne, a, b)
+}
+
+pub fn lt(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::Lt, a, b)
+}
+
+pub fn le(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::Le, a, b)
+}
+
+pub fn gt(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::Gt, a, b)
+}
+
+pub fn ge(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::Ge, a, b)
+}
+
+pub fn land(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::LAnd, a, b)
+}
+
+pub fn lor(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::LOr, a, b)
+}
+
+pub fn shl(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::Shl, a, b)
+}
+
+pub fn shr(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::Shr, a, b)
+}
+
+pub fn neg(a: Expr) -> Expr {
+    Expr::Un(UnOp::Neg, Box::new(a))
+}
+
+pub fn not(a: Expr) -> Expr {
+    Expr::Un(UnOp::Not, Box::new(a))
+}
+
+// --------------------------------------------------------------- stmts ----
+
+pub fn let_(name: &str, e: Expr) -> Stmt {
+    Stmt::Let(name.to_string(), e)
+}
+
+pub fn assign(name: &str, e: Expr) -> Stmt {
+    Stmt::Assign(name.to_string(), e)
+}
+
+pub fn store(handle: Expr, index: Expr, value: Expr) -> Stmt {
+    Stmt::Store(handle, index, value)
+}
+
+pub fn if_(cond: Expr, then: Vec<Stmt>, els: Vec<Stmt>) -> Stmt {
+    Stmt::If(cond, then, els)
+}
+
+pub fn when(cond: Expr, then: Vec<Stmt>) -> Stmt {
+    Stmt::If(cond, then, Vec::new())
+}
+
+pub fn while_(cond: Expr, body: Vec<Stmt>) -> Stmt {
+    Stmt::While(cond, body)
+}
+
+/// `for (var = lo; var < hi; var += 1)`.
+pub fn for_(var: &str, lo: Expr, hi: Expr, body: Vec<Stmt>) -> Stmt {
+    Stmt::For { var: var.to_string(), lo, hi, step: Expr::I(1), body }
+}
+
+/// `for (var = lo; var < hi; var += step)`.
+pub fn for_step(var: &str, lo: Expr, hi: Expr, step: Expr, body: Vec<Stmt>) -> Stmt {
+    Stmt::For { var: var.to_string(), lo, hi, step, body }
+}
+
+pub fn compute(units: Expr) -> Stmt {
+    Stmt::Compute(units)
+}
+
+pub fn launch(kernel: &str, grid: Expr, block: Expr, args: Vec<Expr>) -> Stmt {
+    Stmt::Launch { kernel: kernel.to_string(), grid, block, args }
+}
+
+pub fn sync() -> Stmt {
+    Stmt::Sync
+}
+
+pub fn device_sync() -> Stmt {
+    Stmt::DeviceSync
+}
+
+pub fn atomic_add(old: Option<&str>, handle: Expr, index: Expr, value: Expr) -> Stmt {
+    Stmt::Atomic {
+        op: AtomicOp::Add,
+        old: old.map(str::to_string),
+        handle,
+        index,
+        value,
+        value2: None,
+    }
+}
+
+pub fn atomic_min(old: Option<&str>, handle: Expr, index: Expr, value: Expr) -> Stmt {
+    Stmt::Atomic {
+        op: AtomicOp::Min,
+        old: old.map(str::to_string),
+        handle,
+        index,
+        value,
+        value2: None,
+    }
+}
+
+pub fn atomic_max(old: Option<&str>, handle: Expr, index: Expr, value: Expr) -> Stmt {
+    Stmt::Atomic {
+        op: AtomicOp::Max,
+        old: old.map(str::to_string),
+        handle,
+        index,
+        value,
+        value2: None,
+    }
+}
+
+pub fn atomic_exch(old: Option<&str>, handle: Expr, index: Expr, value: Expr) -> Stmt {
+    Stmt::Atomic {
+        op: AtomicOp::Exch,
+        old: old.map(str::to_string),
+        handle,
+        index,
+        value,
+        value2: None,
+    }
+}
+
+pub fn atomic_cas(
+    old: Option<&str>,
+    handle: Expr,
+    index: Expr,
+    compare: Expr,
+    desired: Expr,
+) -> Stmt {
+    Stmt::Atomic {
+        op: AtomicOp::Cas,
+        old: old.map(str::to_string),
+        handle,
+        index,
+        value: compare,
+        value2: Some(desired),
+    }
+}
+
+pub fn alloc(handle_var: &str, offset_var: &str, words: Expr, scope: AllocScope) -> Stmt {
+    Stmt::Alloc {
+        handle_var: handle_var.to_string(),
+        offset_var: offset_var.to_string(),
+        words,
+        scope,
+    }
+}
+
+pub fn ret() -> Stmt {
+    Stmt::Return
+}
+
+// ------------------------------------------------------------- kernels ----
+
+/// Fluent kernel builder.
+pub struct KernelBuilder {
+    k: Kernel,
+}
+
+impl KernelBuilder {
+    pub fn new(name: &str) -> Self {
+        KernelBuilder { k: Kernel::new(name) }
+    }
+
+    pub fn scalar(mut self, name: &str) -> Self {
+        self.k.params.push(Param { name: name.to_string(), kind: ParamKind::Scalar });
+        self
+    }
+
+    pub fn array(mut self, name: &str) -> Self {
+        self.k.params.push(Param { name: name.to_string(), kind: ParamKind::Array });
+        self
+    }
+
+    pub fn regs(mut self, r: u32) -> Self {
+        self.k.regs_per_thread = r;
+        self
+    }
+
+    pub fn shared(mut self, bytes: u32) -> Self {
+        self.k.shared_bytes = bytes;
+        self
+    }
+
+    pub fn body(mut self, stmts: Vec<Stmt>) -> Kernel {
+        self.k.body = stmts;
+        self.k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_constructs_kernel() {
+        let k = KernelBuilder::new("saxpy")
+            .array("x")
+            .array("y")
+            .scalar("a")
+            .scalar("n")
+            .regs(24)
+            .body(vec![when(
+                lt(gtid(), v("n")),
+                vec![store(
+                    v("y"),
+                    gtid(),
+                    add(mul(v("a"), load(v("x"), gtid())), load(v("y"), gtid())),
+                )],
+            )]);
+        assert_eq!(k.name, "saxpy");
+        assert_eq!(k.params.len(), 4);
+        assert_eq!(k.param_index("a"), Some(2));
+        assert_eq!(k.regs_per_thread, 24);
+        assert_eq!(k.body.len(), 1);
+    }
+
+    #[test]
+    fn for_defaults_to_unit_step() {
+        match for_("i", i(0), i(10), vec![]) {
+            Stmt::For { step, .. } => assert_eq!(step, Expr::I(1)),
+            _ => unreachable!(),
+        }
+    }
+}

@@ -1,0 +1,730 @@
+//! Warp-lockstep SIMT interpreter.
+//!
+//! Each warp executes the compiled kernel over 32-lane value vectors with an
+//! active mask, exactly like SIMT hardware:
+//!
+//! * divergent `if` serializes both paths (cycles accrue for each taken path,
+//!   lane-active cycles only for the lanes on that path — this is what warp
+//!   execution efficiency measures),
+//! * loops iterate until the mask drains,
+//! * warp-wide memory accesses are coalesced into 128-byte segments and the
+//!   instruction replays per extra segment,
+//! * atomics serialize in lane order,
+//! * device-side `Launch` serializes per active lane and charges the launch
+//!   overhead to the issuing lane only — in basic-dp code this is the
+//!   dominant divergence cost the paper reports (Section V.D),
+//! * `__syncthreads` splits the warp's trace into phases; the block duration
+//!   is the per-phase maximum over warps,
+//! * `cudaDeviceSynchronize` splits the block into segments the timing engine
+//!   can swap out around.
+
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+use dpcons_sim::{
+    coalesced_transactions, BlockCtx, BlockResult, KernelBody, KernelId, LaunchSpec,
+    SegmentResult, SimError,
+};
+
+use crate::ast::{AllocScope, AtomicOp, BinOp, Module, UnOp};
+use crate::compile::{compile_module, CExpr, CKernel, CModule, CStmt, IrError};
+
+/// Per-warp iteration safety valve: a single warp executing more than this
+/// many loop iterations is assumed to be stuck.
+const MAX_WARP_ITERATIONS: u64 = 200_000_000;
+
+type Lanes = [i64; 32];
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Boundary {
+    Sync,
+    DeviceSync,
+    End,
+}
+
+#[derive(Debug, Default, Clone)]
+struct Chunk {
+    cycles: u64,
+    active: u64,
+    dram: u64,
+    launches: Vec<LaunchSpec>,
+    boundary: Option<Boundary>,
+}
+
+/// A kernel from a compiled module, installed into a sim engine.
+pub struct IrKernelBody {
+    module: Arc<CModule>,
+    idx: usize,
+    /// Engine kernel ids for every module kernel, filled after registration.
+    ids: Arc<OnceLock<Vec<KernelId>>>,
+}
+
+/// Compile `module` and register every kernel with the engine. Returns the
+/// name → engine-id map used to build host launches.
+pub fn install(
+    engine: &mut dpcons_sim::Engine,
+    module: &Module,
+) -> Result<HashMap<String, KernelId>, IrError> {
+    let cm = Arc::new(compile_module(module)?);
+    let ids: Arc<OnceLock<Vec<KernelId>>> = Arc::new(OnceLock::new());
+    let mut map = HashMap::new();
+    let mut vec_ids = Vec::with_capacity(cm.kernels.len());
+    for i in 0..cm.kernels.len() {
+        let id = engine.register(Arc::new(IrKernelBody {
+            module: Arc::clone(&cm),
+            idx: i,
+            ids: Arc::clone(&ids),
+        }));
+        map.insert(cm.kernels[i].name.clone(), id);
+        vec_ids.push(id);
+    }
+    ids.set(vec_ids).expect("ids set exactly once");
+    Ok(map)
+}
+
+impl KernelBody for IrKernelBody {
+    fn name(&self) -> &str {
+        &self.module.kernels[self.idx].name
+    }
+
+    fn regs_per_thread(&self) -> u32 {
+        self.module.kernels[self.idx].regs_per_thread
+    }
+
+    fn shared_bytes(&self) -> u32 {
+        self.module.kernels[self.idx].shared_bytes
+    }
+
+    fn run_block(&self, ctx: &mut BlockCtx<'_>) -> Result<BlockResult, SimError> {
+        let k = &self.module.kernels[self.idx];
+        if ctx.args.len() != k.param_kinds.len() {
+            return Err(SimError::KernelFault {
+                kernel: k.name.clone(),
+                message: format!(
+                    "launched with {} arguments, expected {}",
+                    ctx.args.len(),
+                    k.param_kinds.len()
+                ),
+            });
+        }
+        let ids = self.ids.get().ok_or_else(|| SimError::KernelFault {
+            kernel: k.name.clone(),
+            message: "module not fully installed before launch".to_string(),
+        })?;
+        let warps = ctx.block_dim.div_ceil(ctx.warp_size);
+        let mut block_allocs: HashMap<u32, (i64, i64)> = HashMap::new();
+        let mut traces: Vec<Vec<Chunk>> = Vec::with_capacity(warps as usize);
+        for w in 0..warps {
+            let nlanes = (ctx.block_dim - w * ctx.warp_size).min(ctx.warp_size);
+            let mut exec = WarpExec {
+                ctx,
+                k,
+                module: &self.module,
+                ids,
+                warp: w,
+                env: vec![[0i64; 32]; k.n_slots as usize],
+                chunks: Vec::new(),
+                cur: Chunk::default(),
+                returned: 0,
+                iters: 0,
+                block_allocs: &mut block_allocs,
+                scratch: Vec::with_capacity(32),
+            };
+            let mask = if nlanes >= 32 { u32::MAX } else { (1u32 << nlanes) - 1 };
+            exec.exec_block_body(mask)?;
+            traces.push(exec.finish());
+        }
+        assemble_block(k, ctx, traces)
+    }
+}
+
+// ------------------------------------------------------------------------
+// Warp execution.
+// ------------------------------------------------------------------------
+
+struct WarpExec<'a, 'b, 'c> {
+    ctx: &'a mut BlockCtx<'b>,
+    k: &'a CKernel,
+    #[allow(dead_code)]
+    module: &'a CModule,
+    ids: &'a [KernelId],
+    warp: u32,
+    env: Vec<Lanes>,
+    chunks: Vec<Chunk>,
+    cur: Chunk,
+    /// Lanes that executed `Return`.
+    returned: u32,
+    iters: u64,
+    block_allocs: &'c mut HashMap<u32, (i64, i64)>,
+    scratch: Vec<u64>,
+}
+
+impl WarpExec<'_, '_, '_> {
+    fn fault(&self, message: impl Into<String>) -> SimError {
+        SimError::KernelFault { kernel: self.k.name.clone(), message: message.into() }
+    }
+
+    fn finish(mut self) -> Vec<Chunk> {
+        self.cur.boundary = Some(Boundary::End);
+        self.chunks.push(std::mem::take(&mut self.cur));
+        self.chunks
+    }
+
+    fn cut(&mut self, b: Boundary) {
+        self.cur.boundary = Some(b);
+        self.chunks.push(std::mem::take(&mut self.cur));
+    }
+
+    /// Charge `c` warp cycles with `lanes` lanes active for all of them.
+    fn charge(&mut self, c: u64, lanes: u32) {
+        self.cur.cycles += c;
+        self.cur.active += c * lanes.count_ones() as u64;
+    }
+
+    fn exec_block_body(&mut self, mask: u32) -> Result<(), SimError> {
+        // Copy the `&'a CKernel` out of `self` so the body borrow is not tied
+        // to the `&mut self` used during execution.
+        let k = self.k;
+        self.exec(&k.body, mask)?;
+        Ok(())
+    }
+
+    /// Execute statements under `mask`; returns the mask of lanes still
+    /// active afterwards (lanes drop out via `Return`).
+    fn exec(&mut self, stmts: &[CStmt], mut mask: u32) -> Result<u32, SimError> {
+        for s in stmts {
+            mask &= !self.returned;
+            if mask == 0 {
+                break;
+            }
+            self.step(s, mask)?;
+        }
+        Ok(mask & !self.returned)
+    }
+
+    fn step(&mut self, s: &CStmt, mask: u32) -> Result<(), SimError> {
+        let costs = self.ctx.cost;
+        match s {
+            CStmt::Assign { slot, value, ops } => {
+                self.charge(*ops as u64 * costs.compute_cycles_per_op, mask);
+                let vals = self.eval(value, mask)?;
+                let dst = &mut self.env[*slot as usize];
+                for l in 0..32 {
+                    if mask & (1 << l) != 0 {
+                        dst[l] = vals[l];
+                    }
+                }
+            }
+            CStmt::Store { handle, index, value, ops } => {
+                self.charge(*ops as u64 * costs.compute_cycles_per_op, mask);
+                let h = self.eval(handle, mask)?;
+                let idx = self.eval(index, mask)?;
+                let val = self.eval(value, mask)?;
+                self.mem_group_cost(&h, &idx, mask)?;
+                for l in 0..32 {
+                    if mask & (1 << l) != 0 {
+                        let (a, i) = self.resolve_addr(h[l], idx[l])?;
+                        self.ctx.mem.write(a, i, val[l])?;
+                    }
+                }
+            }
+            CStmt::Atomic { op, old, handle, index, value, value2, ops } => {
+                self.charge(*ops as u64 * costs.compute_cycles_per_op, mask);
+                let h = self.eval(handle, mask)?;
+                let idx = self.eval(index, mask)?;
+                let val = self.eval(value, mask)?;
+                let val2 = match value2 {
+                    Some(v) => Some(self.eval(v, mask)?),
+                    None => None,
+                };
+                self.mem_group_cost(&h, &idx, mask)?;
+                // Atomics serialize across lanes.
+                let n = mask.count_ones() as u64;
+                self.cur.cycles += costs.atomic_cycles * n;
+                self.cur.active += costs.atomic_cycles * n;
+                let mut olds = [0i64; 32];
+                for l in 0..32 {
+                    if mask & (1 << l) != 0 {
+                        let (a, i) = self.resolve_addr(h[l], idx[l])?;
+                        olds[l] = match op {
+                            AtomicOp::Add => self.ctx.mem.atomic_add(a, i, val[l])?,
+                            AtomicOp::Min => self.ctx.mem.atomic_min(a, i, val[l])?,
+                            AtomicOp::Max => self.ctx.mem.atomic_max(a, i, val[l])?,
+                            AtomicOp::Exch => self.ctx.mem.atomic_exch(a, i, val[l])?,
+                            AtomicOp::Cas => {
+                                let desired = val2.as_ref().expect("cas has value2")[l];
+                                self.ctx.mem.atomic_cas(a, i, val[l], desired)?
+                            }
+                        };
+                    }
+                }
+                if let Some(slot) = old {
+                    let dst = &mut self.env[*slot as usize];
+                    for l in 0..32 {
+                        if mask & (1 << l) != 0 {
+                            dst[l] = olds[l];
+                        }
+                    }
+                }
+            }
+            CStmt::If { cond, then, els, ops } => {
+                self.charge(*ops as u64 * costs.compute_cycles_per_op, mask);
+                let c = self.eval(cond, mask)?;
+                let mut tmask = 0u32;
+                for l in 0..32 {
+                    if mask & (1 << l) != 0 && c[l] != 0 {
+                        tmask |= 1 << l;
+                    }
+                }
+                let emask = mask & !tmask;
+                if tmask != 0 {
+                    self.exec(then, tmask)?;
+                }
+                if emask != 0 {
+                    self.exec(els, emask)?;
+                }
+            }
+            CStmt::While { cond, body, ops } => {
+                let mut m = mask;
+                loop {
+                    m &= !self.returned;
+                    if m == 0 {
+                        break;
+                    }
+                    self.bump_iters()?;
+                    self.charge(*ops as u64 * costs.compute_cycles_per_op, m);
+                    let c = self.eval(cond, m)?;
+                    let mut next = 0u32;
+                    for l in 0..32 {
+                        if m & (1 << l) != 0 && c[l] != 0 {
+                            next |= 1 << l;
+                        }
+                    }
+                    if next == 0 {
+                        break;
+                    }
+                    self.exec(body, next)?;
+                    m = next;
+                }
+            }
+            CStmt::For { var, lo, hi, step, body, ops } => {
+                let lov = self.eval(lo, mask)?;
+                {
+                    let dst = &mut self.env[*var as usize];
+                    for l in 0..32 {
+                        if mask & (1 << l) != 0 {
+                            dst[l] = lov[l];
+                        }
+                    }
+                }
+                let mut m = mask;
+                loop {
+                    m &= !self.returned;
+                    if m == 0 {
+                        break;
+                    }
+                    self.bump_iters()?;
+                    self.charge(*ops as u64 * costs.compute_cycles_per_op, m);
+                    let hiv = self.eval(hi, m)?;
+                    let cur = self.env[*var as usize];
+                    let mut next = 0u32;
+                    for l in 0..32 {
+                        if m & (1 << l) != 0 && cur[l] < hiv[l] {
+                            next |= 1 << l;
+                        }
+                    }
+                    if next == 0 {
+                        break;
+                    }
+                    self.exec(body, next)?;
+                    let stepv = self.eval(step, next)?;
+                    let dst = &mut self.env[*var as usize];
+                    for l in 0..32 {
+                        if next & (1 << l) != 0 {
+                            dst[l] = dst[l].wrapping_add(stepv[l]);
+                        }
+                    }
+                    m = next;
+                }
+            }
+            CStmt::Compute { units, ops } => {
+                self.charge(*ops as u64 * costs.compute_cycles_per_op, mask);
+                let u = self.eval(units, mask)?;
+                let mut maxu = 0u64;
+                let mut sum = 0u64;
+                for l in 0..32 {
+                    if mask & (1 << l) != 0 {
+                        let w = u[l].max(0) as u64;
+                        maxu = maxu.max(w);
+                        sum += w;
+                    }
+                }
+                self.cur.cycles += maxu * costs.compute_cycles_per_op;
+                self.cur.active += sum * costs.compute_cycles_per_op;
+            }
+            CStmt::Launch { target, grid, block, args, ops } => {
+                self.charge(*ops as u64 * costs.compute_cycles_per_op, mask);
+                let g = self.eval(grid, mask)?;
+                let b = self.eval(block, mask)?;
+                let mut argv: Vec<Lanes> = Vec::with_capacity(args.len());
+                for a in args {
+                    argv.push(self.eval(a, mask)?);
+                }
+                // One child grid per active lane; launches serialize, and each
+                // lane is only active during its own launch — this is the warp
+                // divergence penalty of per-thread nested launches.
+                for l in 0..32 {
+                    if mask & (1 << l) != 0 {
+                        let grid_l = u32::try_from(g[l].max(0)).unwrap_or(0);
+                        let block_l = u32::try_from(b[l].max(0)).unwrap_or(0);
+                        self.cur.cycles += costs.device_launch_cycles;
+                        self.cur.active += costs.device_launch_cycles;
+                        self.cur.launches.push(LaunchSpec::new(
+                            self.ids[*target],
+                            grid_l,
+                            block_l,
+                            argv.iter().map(|v| v[l]).collect(),
+                        ));
+                    }
+                }
+            }
+            CStmt::Sync => {
+                // The barrier cost itself is charged during block assembly
+                // (per phase boundary), not per warp, to avoid double counting.
+                self.cut(Boundary::Sync);
+            }
+            CStmt::DeviceSync => {
+                // Any single warp of the block may device-sync; the block
+                // assembly below segments the block around that warp's
+                // boundary (two different warps syncing is rejected there).
+                self.cut(Boundary::DeviceSync);
+            }
+            CStmt::Alloc { handle_slot, offset_slot, words, scope, site, ops } => {
+                self.charge(*ops as u64 * costs.compute_cycles_per_op, mask);
+                let w = self.eval(words, mask)?;
+                let first = mask.trailing_zeros() as usize;
+                let words_req = w[first].max(1) as u64;
+                let kind = self.ctx.heap.kind;
+                let (hv, ov) = match scope {
+                    AllocScope::Warp => {
+                        // The leader lane allocates; the warp waits.
+                        self.cur.cycles += kind.op_cycles(costs);
+                        self.cur.active += kind.op_cycles(costs);
+                        let off = self.ctx.heap.alloc(words_req, costs)?;
+                        (self.ctx.heap.array as i64, off as i64)
+                    }
+                    AllocScope::Block => {
+                        if let Some(&(h, o)) = self.block_allocs.get(site) {
+                            // Other warps wait at the implied barrier.
+                            self.cur.cycles += kind.op_cycles(costs);
+                            (h, o)
+                        } else {
+                            self.cur.cycles += kind.op_cycles(costs);
+                            self.cur.active += kind.op_cycles(costs);
+                            let off = self.ctx.heap.alloc(words_req, costs)?;
+                            let pair = (self.ctx.heap.array as i64, off as i64);
+                            self.block_allocs.insert(*site, pair);
+                            pair
+                        }
+                    }
+                };
+                for (slot, val) in [(handle_slot, hv), (offset_slot, ov)] {
+                    let dst = &mut self.env[*slot as usize];
+                    for l in 0..32 {
+                        if mask & (1 << l) != 0 {
+                            dst[l] = val;
+                        }
+                    }
+                }
+            }
+            CStmt::Return => {
+                self.returned |= mask;
+            }
+        }
+        Ok(())
+    }
+
+    fn bump_iters(&mut self) -> Result<(), SimError> {
+        self.iters += 1;
+        if self.iters > MAX_WARP_ITERATIONS {
+            return Err(self.fault("warp exceeded the loop-iteration safety limit"));
+        }
+        Ok(())
+    }
+
+    fn resolve_addr(&self, handle: i64, index: i64) -> Result<(usize, usize), SimError> {
+        let a = self.ctx.mem.handle_from_value(handle)?;
+        let i = usize::try_from(index).map_err(|_| SimError::OutOfBounds {
+            array: self.ctx.mem.label(a).unwrap_or("?").to_string(),
+            handle,
+            index,
+            len: self.ctx.mem.len(a).unwrap_or(0),
+        })?;
+        Ok((a, i))
+    }
+
+    /// Charge the warp-wide cost of one memory access group: coalesce into
+    /// segments, replay the instruction per segment, and count DRAM traffic
+    /// only for segments this block has not already fetched (block-scope
+    /// cache reuse).
+    fn mem_group_cost(&mut self, h: &Lanes, idx: &Lanes, mask: u32) -> Result<(), SimError> {
+        self.scratch.clear();
+        for l in 0..32 {
+            if mask & (1 << l) != 0 {
+                let (a, i) = self.resolve_addr(h[l], idx[l])?;
+                self.scratch.push(self.ctx.mem.global_addr(a, i)?);
+            }
+        }
+        let mut addrs = std::mem::take(&mut self.scratch);
+        let tx = coalesced_transactions(&mut addrs, self.ctx.cost.segment_words);
+        let mut new_tx = 0u64;
+        for &seg in addrs.iter() {
+            if self.ctx.touched_segments.insert(seg) {
+                new_tx += 1;
+            }
+        }
+        self.scratch = addrs;
+        let c = self.ctx.cost;
+        let cycles = c.mem_base_cycles + tx * c.mem_cycles_per_transaction;
+        self.cur.dram += new_tx;
+        self.charge(cycles, mask);
+        Ok(())
+    }
+
+    fn eval(&mut self, e: &CExpr, mask: u32) -> Result<Lanes, SimError> {
+        let mut out = [0i64; 32];
+        match e {
+            CExpr::I(v) => out = [*v; 32],
+            CExpr::Gtid => {
+                let base = self.ctx.block_id as i64 * self.ctx.block_dim as i64
+                    + (self.warp * self.ctx.warp_size) as i64;
+                for (l, o) in out.iter_mut().enumerate() {
+                    *o = base + l as i64;
+                }
+            }
+            CExpr::Tid => {
+                let base = (self.warp * self.ctx.warp_size) as i64;
+                for (l, o) in out.iter_mut().enumerate() {
+                    *o = base + l as i64;
+                }
+            }
+            CExpr::CtaId => out = [self.ctx.block_id as i64; 32],
+            CExpr::NTid => out = [self.ctx.block_dim as i64; 32],
+            CExpr::NCta => out = [self.ctx.grid_dim as i64; 32],
+            CExpr::Depth => out = [self.ctx.depth as i64; 32],
+            CExpr::Arg(i) => out = [self.ctx.args[*i as usize]; 32],
+            CExpr::Var(s) => out = self.env[*s as usize],
+            CExpr::Load(h, i) => {
+                let hv = self.eval(h, mask)?;
+                let iv = self.eval(i, mask)?;
+                self.mem_group_cost(&hv, &iv, mask)?;
+                for l in 0..32 {
+                    if mask & (1 << l) != 0 {
+                        let (a, idx) = self.resolve_addr(hv[l], iv[l])?;
+                        out[l] = self.ctx.mem.read(a, idx)?;
+                    }
+                }
+            }
+            CExpr::Un(op, a) => {
+                let av = self.eval(a, mask)?;
+                for l in 0..32 {
+                    if mask & (1 << l) != 0 {
+                        out[l] = match op {
+                            UnOp::Neg => av[l].wrapping_neg(),
+                            UnOp::Not => (av[l] == 0) as i64,
+                        };
+                    }
+                }
+            }
+            CExpr::Bin(op, a, b) if matches!(op, BinOp::LAnd | BinOp::LOr) => {
+                // Short-circuit semantics per lane, as in CUDA C: the right
+                // operand is only evaluated (and only charges memory costs)
+                // for lanes the left operand does not decide.
+                let av = self.eval(a, mask)?;
+                let mut need = 0u32;
+                for l in 0..32 {
+                    if mask & (1 << l) != 0 {
+                        let decided =
+                            matches!(op, BinOp::LAnd) == (av[l] == 0);
+                        if decided {
+                            out[l] = (matches!(op, BinOp::LOr)) as i64;
+                        } else {
+                            need |= 1 << l;
+                        }
+                    }
+                }
+                if need != 0 {
+                    let bv = self.eval(b, need)?;
+                    for l in 0..32 {
+                        if need & (1 << l) != 0 {
+                            out[l] = (bv[l] != 0) as i64;
+                        }
+                    }
+                }
+            }
+            CExpr::Bin(op, a, b) => {
+                let av = self.eval(a, mask)?;
+                let bv = self.eval(b, mask)?;
+                for l in 0..32 {
+                    if mask & (1 << l) != 0 {
+                        out[l] = self.binop(*op, av[l], bv[l])?;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn binop(&self, op: BinOp, a: i64, b: i64) -> Result<i64, SimError> {
+        Ok(match op {
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            BinOp::Mul => a.wrapping_mul(b),
+            BinOp::Div => {
+                if b == 0 {
+                    return Err(self.fault("division by zero"));
+                }
+                a.wrapping_div(b)
+            }
+            BinOp::Rem => {
+                if b == 0 {
+                    return Err(self.fault("remainder by zero"));
+                }
+                a.wrapping_rem(b)
+            }
+            BinOp::Min => a.min(b),
+            BinOp::Max => a.max(b),
+            BinOp::And => a & b,
+            BinOp::Or => a | b,
+            BinOp::Xor => a ^ b,
+            BinOp::Shl => a.wrapping_shl(b.rem_euclid(64) as u32),
+            BinOp::Shr => a.wrapping_shr(b.rem_euclid(64) as u32),
+            BinOp::Eq => (a == b) as i64,
+            BinOp::Ne => (a != b) as i64,
+            BinOp::Lt => (a < b) as i64,
+            BinOp::Le => (a <= b) as i64,
+            BinOp::Gt => (a > b) as i64,
+            BinOp::Ge => (a >= b) as i64,
+            BinOp::LAnd => (a != 0 && b != 0) as i64,
+            BinOp::LOr => (a != 0 || b != 0) as i64,
+        })
+    }
+}
+
+// ------------------------------------------------------------------------
+// Block assembly: warp traces -> segments with phase-aware durations.
+// ------------------------------------------------------------------------
+
+fn assemble_block(
+    k: &CKernel,
+    ctx: &BlockCtx<'_>,
+    traces: Vec<Vec<Chunk>>,
+) -> Result<BlockResult, SimError> {
+    let warp_size = ctx.warp_size as u64;
+    let sync_cost = ctx.cost.syncthreads_cycles;
+
+    // Segment structure is defined by the (single) warp that executed
+    // `cudaDeviceSynchronize`; all other warps' work is attributed to
+    // segment 0.
+    let syncing: Vec<usize> = traces
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.iter().any(|c| c.boundary == Some(Boundary::DeviceSync)))
+        .map(|(w, _)| w)
+        .collect();
+    if syncing.len() > 1 {
+        return Err(SimError::KernelFault {
+            kernel: k.name.clone(),
+            message: format!(
+                "cudaDeviceSynchronize executed by {} warps of one block; the \
+                 block-segmentation model supports at most one",
+                syncing.len()
+            ),
+        });
+    }
+    let sync_warp = syncing.first().copied().unwrap_or(0);
+    let w0_segments: Vec<Vec<&Chunk>> = split_segments(&traces[sync_warp]);
+    let nseg = w0_segments.len();
+    let mut segments: Vec<SegmentResult> = (0..nseg).map(|_| SegmentResult::default()).collect();
+
+    // Phase-aware duration for segment 0: align warp phases (chunks split at
+    // Sync) when all warps agree on the phase count; otherwise fall back to
+    // the max total over warps.
+    let seg0_phases: Vec<Vec<&Chunk>> = traces
+        .iter()
+        .enumerate()
+        .map(|(w, t)| {
+            if w == sync_warp {
+                w0_segments[0].clone()
+            } else {
+                t.iter().collect()
+            }
+        })
+        .collect();
+    let aligned = seg0_phases.iter().all(|p| p.len() == seg0_phases[0].len());
+    let seg0_duration = if aligned {
+        let phases = seg0_phases[0].len();
+        let mut d = 0u64;
+        for p in 0..phases {
+            d += seg0_phases.iter().map(|w| w[p].cycles).max().unwrap_or(0);
+        }
+        d + sync_cost * phases.saturating_sub(1) as u64
+    } else {
+        seg0_phases
+            .iter()
+            .map(|w| {
+                w.iter().map(|c| c.cycles).sum::<u64>()
+                    + sync_cost * w.len().saturating_sub(1) as u64
+            })
+            .max()
+            .unwrap_or(0)
+    };
+    segments[0].duration = seg0_duration;
+
+    // Aggregate warp metrics into segments.
+    for (w, trace) in traces.iter().enumerate() {
+        let segs: Vec<Vec<&Chunk>> = if w == sync_warp {
+            split_segments(trace)
+        } else {
+            vec![trace.iter().collect()]
+        };
+        for (si, chunks) in segs.iter().enumerate() {
+            let seg = &mut segments[si.min(nseg - 1)];
+            for c in chunks {
+                seg.warp_cycles_sum += c.cycles;
+                seg.active_thread_cycles += c.active;
+                seg.thread_cycles_possible += c.cycles * warp_size;
+                seg.dram_transactions += c.dram;
+                seg.launches.extend(c.launches.iter().cloned());
+            }
+        }
+    }
+
+    // Durations and sync flags for segments after the first (warp 0 only).
+    for (si, chunks) in w0_segments.iter().enumerate() {
+        if si > 0 {
+            segments[si].duration = chunks.iter().map(|c| c.cycles).sum::<u64>()
+                + sync_cost * chunks.len().saturating_sub(1) as u64;
+        }
+        let last = chunks.last().expect("segments are non-empty");
+        segments[si].ends_with_device_sync = last.boundary == Some(Boundary::DeviceSync);
+    }
+
+    let _ = k;
+    Ok(BlockResult { segments })
+}
+
+/// Split a warp trace into device-sync segments of sync-phase chunks.
+fn split_segments(trace: &[Chunk]) -> Vec<Vec<&Chunk>> {
+    let mut out: Vec<Vec<&Chunk>> = vec![Vec::new()];
+    for c in trace {
+        out.last_mut().unwrap().push(c);
+        if c.boundary == Some(Boundary::DeviceSync) {
+            out.push(Vec::new());
+        }
+    }
+    if out.last().is_some_and(Vec::is_empty) && out.len() > 1 {
+        out.pop();
+    }
+    out
+}

@@ -1,0 +1,404 @@
+//! Device-side dynamic memory allocators for consolidation buffers.
+//!
+//! The paper's directive supports three buffer allocation mechanisms
+//! (Table I / Section IV.E): the CUDA default `malloc`, the open-source
+//! Halloc slab allocator, and a customized allocator over a pre-allocated
+//! memory pool. All three are implemented here as genuine allocators over a
+//! single heap array in simulated global memory; they differ both in
+//! *mechanism* (free list vs. size-class slabs vs. bump pointer) and in their
+//! modeled per-operation cycle cost, which is what produces the Figure 5
+//! comparison.
+
+use crate::config::CostModel;
+use crate::mem::{ArrayId, GlobalMem};
+use crate::SimError;
+
+/// Which allocator backs device-side `Alloc` statements for a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AllocKind {
+    /// CUDA `malloc`/`free`: correct but slow general-purpose allocator.
+    Default,
+    /// Halloc-like size-class slab allocator: fast-ish per op.
+    Halloc,
+    /// Pre-allocated pool with an atomic bump pointer: near-free per op,
+    /// reset wholesale between kernels/launch generations.
+    PreAlloc,
+}
+
+impl AllocKind {
+    pub fn label(self) -> &'static str {
+        match self {
+            AllocKind::Default => "default",
+            AllocKind::Halloc => "halloc",
+            AllocKind::PreAlloc => "pre-alloc",
+        }
+    }
+
+    /// Cycle cost of one allocation operation under the cost model.
+    pub fn op_cycles(self, c: &CostModel) -> u64 {
+        match self {
+            AllocKind::Default => c.alloc_default_cycles,
+            AllocKind::Halloc => c.alloc_halloc_cycles,
+            AllocKind::PreAlloc => c.alloc_prealloc_cycles,
+        }
+    }
+}
+
+/// Running statistics for a heap, surfaced in the profile report.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct HeapStats {
+    pub allocs: u64,
+    pub frees: u64,
+    pub alloc_cycles: u64,
+    pub peak_words_in_use: u64,
+    pub failed_allocs: u64,
+}
+
+#[derive(Debug, Clone)]
+enum Backend {
+    /// Address-ordered first-fit free list of `(offset, len)` holes.
+    FreeList { holes: Vec<(u64, u64)>, live: Vec<(u64, u64)> },
+    /// Power-of-two size classes carved from a bump region on demand.
+    Slab { classes: Vec<Vec<u64>>, bump: u64 },
+    /// Monotone bump pointer; `free` is a no-op, `reset` reclaims everything.
+    Bump { next: u64 },
+}
+
+/// The device heap: one large array in global memory plus allocator state.
+#[derive(Debug, Clone)]
+pub struct DeviceHeap {
+    pub kind: AllocKind,
+    pub array: ArrayId,
+    capacity: u64,
+    words_in_use: u64,
+    backend: Backend,
+    pub stats: HeapStats,
+}
+
+const SLAB_MIN_CLASS: u32 = 5; // 32 words
+const SLAB_CHUNK_BLOCKS: u64 = 8;
+
+fn size_class(words: u64) -> u32 {
+    let words = words.max(1);
+    let c = 64 - (words - 1).leading_zeros().min(63);
+    c.max(SLAB_MIN_CLASS)
+}
+
+impl DeviceHeap {
+    /// Create a heap of `capacity_words` backed by a fresh global-memory array.
+    pub fn new(kind: AllocKind, capacity_words: u64, mem: &mut GlobalMem) -> Self {
+        let array = mem.alloc_array("__device_heap", capacity_words as usize);
+        let backend = match kind {
+            AllocKind::Default => {
+                Backend::FreeList { holes: vec![(0, capacity_words)], live: Vec::new() }
+            }
+            AllocKind::Halloc => Backend::Slab { classes: vec![Vec::new(); 40], bump: 0 },
+            AllocKind::PreAlloc => Backend::Bump { next: 0 },
+        };
+        DeviceHeap {
+            kind,
+            array,
+            capacity: capacity_words,
+            words_in_use: 0,
+            backend,
+            stats: HeapStats::default(),
+        }
+    }
+
+    pub fn capacity_words(&self) -> u64 {
+        self.capacity
+    }
+
+    pub fn words_in_use(&self) -> u64 {
+        self.words_in_use
+    }
+
+    /// Allocate `words` words; returns the word offset within the heap array.
+    pub fn alloc(&mut self, words: u64, cost: &CostModel) -> Result<u64, SimError> {
+        let words = words.max(1);
+        self.stats.allocs += 1;
+        self.stats.alloc_cycles += self.kind.op_cycles(cost);
+        let off = match &mut self.backend {
+            Backend::FreeList { holes, live } => {
+                let mut found = None;
+                for (i, &(ho, hl)) in holes.iter().enumerate() {
+                    if hl >= words {
+                        found = Some((i, ho, hl));
+                        break;
+                    }
+                }
+                match found {
+                    Some((i, ho, hl)) => {
+                        if hl == words {
+                            holes.remove(i);
+                        } else {
+                            holes[i] = (ho + words, hl - words);
+                        }
+                        live.push((ho, words));
+                        Some(ho)
+                    }
+                    None => None,
+                }
+            }
+            Backend::Slab { classes, bump } => {
+                let class = size_class(words);
+                let block = 1u64 << class;
+                if classes[class as usize].is_empty() {
+                    // Carve a chunk of blocks for this class from the bump region.
+                    let chunk = block * SLAB_CHUNK_BLOCKS;
+                    let take = chunk.min(self.capacity.saturating_sub(*bump));
+                    let nblocks = take / block;
+                    for b in 0..nblocks {
+                        classes[class as usize].push(*bump + b * block);
+                    }
+                    *bump += nblocks * block;
+                }
+                classes[class as usize].pop()
+            }
+            Backend::Bump { next } => {
+                if *next + words <= self.capacity {
+                    let off = *next;
+                    *next += words;
+                    Some(off)
+                } else {
+                    None
+                }
+            }
+        };
+        match off {
+            Some(o) => {
+                self.words_in_use += match &self.backend {
+                    Backend::Slab { .. } => 1u64 << size_class(words),
+                    _ => words,
+                };
+                self.stats.peak_words_in_use =
+                    self.stats.peak_words_in_use.max(self.words_in_use);
+                Ok(o)
+            }
+            None => {
+                self.stats.failed_allocs += 1;
+                Err(SimError::HeapExhausted {
+                    kind: self.kind.label(),
+                    requested: words,
+                    capacity: self.capacity,
+                    in_use: self.words_in_use,
+                })
+            }
+        }
+    }
+
+    /// Free an allocation made by `alloc`. For the pre-allocated pool this is
+    /// a no-op (the pool is reclaimed wholesale with [`DeviceHeap::reset`]).
+    pub fn free(&mut self, offset: u64, words: u64, cost: &CostModel) {
+        self.stats.frees += 1;
+        match &mut self.backend {
+            Backend::FreeList { holes, live } => {
+                self.stats.alloc_cycles += self.kind.op_cycles(cost);
+                if let Some(pos) = live.iter().position(|&(o, _)| o == offset) {
+                    let (o, l) = live.swap_remove(pos);
+                    let idx = holes.partition_point(|&(ho, _)| ho < o);
+                    holes.insert(idx, (o, l));
+                    // Coalesce with neighbours.
+                    if idx + 1 < holes.len() && holes[idx].0 + holes[idx].1 == holes[idx + 1].0 {
+                        holes[idx].1 += holes[idx + 1].1;
+                        holes.remove(idx + 1);
+                    }
+                    if idx > 0 && holes[idx - 1].0 + holes[idx - 1].1 == holes[idx].0 {
+                        holes[idx - 1].1 += holes[idx].1;
+                        holes.remove(idx);
+                    }
+                    self.words_in_use = self.words_in_use.saturating_sub(l);
+                }
+            }
+            Backend::Slab { classes, .. } => {
+                self.stats.alloc_cycles += self.kind.op_cycles(cost);
+                let class = size_class(words);
+                classes[class as usize].push(offset);
+                self.words_in_use = self.words_in_use.saturating_sub(1u64 << class);
+            }
+            Backend::Bump { .. } => {}
+        }
+    }
+
+    /// Reclaim everything (pre-alloc pool reset between host launches).
+    pub fn reset(&mut self) {
+        self.words_in_use = 0;
+        match &mut self.backend {
+            Backend::FreeList { holes, live } => {
+                holes.clear();
+                holes.push((0, self.capacity));
+                live.clear();
+            }
+            Backend::Slab { classes, bump } => {
+                classes.iter_mut().for_each(Vec::clear);
+                *bump = 0;
+            }
+            Backend::Bump { next } => *next = 0,
+        }
+    }
+}
+
+/// The paper's per-buffer size prediction for the customized allocator
+/// (Section IV.E): `totalThread * totalBuffVar * const`, where `const`
+/// (default 4) estimates work items per thread.
+pub fn predicted_buffer_words(total_threads: u64, total_buff_vars: u64, work_const: u64) -> u64 {
+    total_threads.max(1) * total_buff_vars.max(1) * work_const.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn heap(kind: AllocKind, cap: u64) -> (DeviceHeap, GlobalMem, CostModel) {
+        let mut mem = GlobalMem::new();
+        let h = DeviceHeap::new(kind, cap, &mut mem);
+        (h, mem, CostModel::default())
+    }
+
+    #[test]
+    fn default_allocator_first_fit_and_coalesce() {
+        let (mut h, _m, c) = heap(AllocKind::Default, 100);
+        let a = h.alloc(40, &c).unwrap();
+        let b = h.alloc(40, &c).unwrap();
+        assert_eq!(a, 0);
+        assert_eq!(b, 40);
+        assert!(h.alloc(40, &c).is_err());
+        h.free(a, 40, &c);
+        h.free(b, 40, &c);
+        // Coalesced back into one hole -> a big alloc fits again.
+        let big = h.alloc(100, &c).unwrap();
+        assert_eq!(big, 0);
+    }
+
+    #[test]
+    fn default_allocator_reuses_freed_blocks() {
+        let (mut h, _m, c) = heap(AllocKind::Default, 128);
+        let a = h.alloc(32, &c).unwrap();
+        let _b = h.alloc(32, &c).unwrap();
+        h.free(a, 32, &c);
+        let a2 = h.alloc(16, &c).unwrap();
+        assert_eq!(a2, 0, "first fit should reuse the freed hole");
+    }
+
+    #[test]
+    fn halloc_size_classes_round_up() {
+        let (mut h, _m, c) = heap(AllocKind::Halloc, 1 << 16);
+        let a = h.alloc(33, &c).unwrap(); // class 64
+        let b = h.alloc(64, &c).unwrap();
+        assert_ne!(a, b);
+        h.free(a, 33, &c);
+        let a2 = h.alloc(50, &c).unwrap(); // same class, should reuse
+        assert_eq!(a2, a);
+    }
+
+    #[test]
+    fn halloc_small_allocs_share_chunks() {
+        let (mut h, _m, c) = heap(AllocKind::Halloc, 1 << 16);
+        let offs: Vec<u64> = (0..SLAB_CHUNK_BLOCKS).map(|_| h.alloc(8, &c).unwrap()).collect();
+        // All from one carved chunk of 32-word blocks.
+        for w in offs.windows(2) {
+            assert_eq!((w[0] as i64 - w[1] as i64).unsigned_abs(), 32);
+        }
+    }
+
+    #[test]
+    fn prealloc_bump_is_monotone_and_resettable() {
+        let (mut h, _m, c) = heap(AllocKind::PreAlloc, 100);
+        assert_eq!(h.alloc(10, &c).unwrap(), 0);
+        assert_eq!(h.alloc(10, &c).unwrap(), 10);
+        h.free(0, 10, &c); // no-op
+        assert_eq!(h.alloc(10, &c).unwrap(), 20);
+        h.reset();
+        assert_eq!(h.alloc(10, &c).unwrap(), 0);
+    }
+
+    #[test]
+    fn exhaustion_reports_context() {
+        let (mut h, _m, c) = heap(AllocKind::PreAlloc, 8);
+        let err = h.alloc(9, &c).unwrap_err();
+        match err {
+            SimError::HeapExhausted { kind, requested, capacity, .. } => {
+                assert_eq!(kind, "pre-alloc");
+                assert_eq!(requested, 9);
+                assert_eq!(capacity, 8);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(h.stats.failed_allocs, 1);
+    }
+
+    #[test]
+    fn cost_accounting_orders_allocators() {
+        let c = CostModel::default();
+        let mut totals = Vec::new();
+        for kind in [AllocKind::Default, AllocKind::Halloc, AllocKind::PreAlloc] {
+            let (mut h, _m, _) = heap(kind, 1 << 16);
+            for _ in 0..10 {
+                h.alloc(32, &c).unwrap();
+            }
+            totals.push(h.stats.alloc_cycles);
+        }
+        assert!(totals[0] > totals[1] && totals[1] > totals[2]);
+    }
+
+    #[test]
+    fn predicted_buffer_size_formula() {
+        // totalThread * totalBuffVar * const with default const = 4.
+        assert_eq!(predicted_buffer_words(256, 1, 4), 1024);
+        assert_eq!(predicted_buffer_words(32, 2, 4), 256);
+        // Degenerate inputs are clamped to at least 1.
+        assert_eq!(predicted_buffer_words(0, 0, 0), 1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Free-list allocator never hands out overlapping live regions and
+        /// frees fully reclaim capacity.
+        #[test]
+        fn default_allocator_no_overlap(sizes in proptest::collection::vec(1u64..64, 1..40)) {
+            let mut mem = GlobalMem::new();
+            let mut h = DeviceHeap::new(AllocKind::Default, 1 << 14, &mut mem);
+            let c = CostModel::default();
+            let mut live: Vec<(u64, u64)> = Vec::new();
+            for (i, &s) in sizes.iter().enumerate() {
+                let off = h.alloc(s, &c).unwrap();
+                for &(o, l) in &live {
+                    prop_assert!(off + s <= o || o + l <= off, "overlap at alloc {i}");
+                }
+                live.push((off, s));
+            }
+            for (o, l) in live.drain(..) {
+                h.free(o, l, &c);
+            }
+            prop_assert_eq!(h.words_in_use(), 0);
+            // All capacity available again.
+            prop_assert!(h.alloc(1 << 14, &c).is_ok());
+        }
+
+        /// Slab allocator round-trips arbitrary interleavings of alloc/free.
+        #[test]
+        fn halloc_alloc_free_interleave(ops in proptest::collection::vec((1u64..200, any::<bool>()), 1..60)) {
+            let mut mem = GlobalMem::new();
+            let mut h = DeviceHeap::new(AllocKind::Halloc, 1 << 16, &mut mem);
+            let c = CostModel::default();
+            let mut live: Vec<(u64, u64)> = Vec::new();
+            for (s, do_free) in ops {
+                if do_free && !live.is_empty() {
+                    let (o, l) = live.pop().unwrap();
+                    h.free(o, l, &c);
+                } else {
+                    let off = h.alloc(s, &c).unwrap();
+                    for &(o, _) in &live {
+                        prop_assert_ne!(off, o);
+                    }
+                    live.push((off, s));
+                }
+            }
+        }
+    }
+}

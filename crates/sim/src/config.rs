@@ -1,0 +1,227 @@
+//! GPU hardware description and cycle-cost model.
+//!
+//! Defaults model the NVIDIA K20c (GK110) used in the paper's evaluation:
+//! 13 SMXs, 2048 threads / 16 blocks / 64 warps per SMX, at most 32 concurrent
+//! kernels, a fixed pending-launch pool of 2048 entries backed by a virtualized
+//! pool, and a device-side nesting limit of 24 (Section II.A / III.B of the
+//! paper). Cost-model constants are not calibrated against real silicon; they
+//! encode the *relative* magnitudes the paper describes (device-side launches
+//! are thousands of cycles, buffer insertions are tens) so that the shapes of
+//! the paper's figures emerge from the same mechanisms.
+
+/// Per-operation cycle costs used by both the functional interpreter and the
+/// discrete-event timing engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    /// Driver/runtime work for a host-side kernel launch.
+    pub host_launch_cycles: u64,
+    /// Per-launch device-side overhead: parameter parsing, buffering and
+    /// dispatch (Section III.B "Kernel Launch Overhead"). Charged serially to
+    /// the issuing lane.
+    pub device_launch_cycles: u64,
+    /// Scheduling latency between a kernel leaving the pending pool and its
+    /// first block starting.
+    pub kernel_dispatch_cycles: u64,
+    /// Extra management cost for kernels that overflow the fixed-size pending
+    /// pool into the virtualized pool (Section III.B "Kernel Buffering
+    /// Overhead").
+    pub virtual_pool_penalty_cycles: u64,
+    /// DRAM transactions per device-side launch (parameter buffering through
+    /// global memory by the device runtime).
+    pub launch_dram_transactions: u64,
+    /// Extra DRAM transactions for a kernel managed by the virtualized pool.
+    pub virtual_pool_dram_transactions: u64,
+    /// Latency of one coalesced DRAM transaction.
+    pub dram_transaction_cycles: u64,
+    /// Fixed issue cost of a warp-wide memory instruction (latency assumed
+    /// mostly hidden by multithreading).
+    pub mem_base_cycles: u64,
+    /// Additional cost per DRAM transaction the access splits into
+    /// (uncoalesced accesses replay the instruction per segment).
+    pub mem_cycles_per_transaction: u64,
+    /// Cost of an arithmetic/logic operation (per `Compute` unit).
+    pub compute_cycles_per_op: u64,
+    /// Serialized cost of one atomic RMW.
+    pub atomic_cycles: u64,
+    /// Cost of a `__syncthreads` barrier per participating warp.
+    pub syncthreads_cycles: u64,
+    /// Per-block cost of the software global barrier (atomic counter round trip).
+    pub global_barrier_cycles: u64,
+    /// Cycles to swap a parent block out (and later back in) around a
+    /// device-side `cudaDeviceSynchronize` (Section III.B "Synchronization
+    /// Overhead").
+    pub swap_cycles: u64,
+    /// DRAM transactions charged per block swap (state spill + refill).
+    pub swap_dram_transactions: u64,
+    /// Device-side `malloc`/`free` cost (CUDA default allocator).
+    pub alloc_default_cycles: u64,
+    /// Halloc-style slab allocator per-op cost.
+    pub alloc_halloc_cycles: u64,
+    /// Pre-allocated pool bump-pointer per-op cost.
+    pub alloc_prealloc_cycles: u64,
+    /// Coalescing segment size in 8-byte words (128 bytes on Kepler).
+    pub segment_words: u64,
+    /// Dual-issue width of one SMX scheduler group; bounds how much independent
+    /// warp work one block can overlap.
+    pub warp_issue_width: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            host_launch_cycles: 6_000,
+            device_launch_cycles: 3_000,
+            // The grid management unit processes pending launches serially.
+            // Launches served from the fixed-size pool are cheap; once the
+            // backlog spills into the virtualized pool, per-launch management
+            // cost explodes (Section III.B "Kernel Buffering Overhead") —
+            // this congestion dependence is what makes basic-dp codes 2-3
+            // orders of magnitude slower while consolidated codes, whose
+            // queues stay short, dispatch almost for free.
+            kernel_dispatch_cycles: 600,
+            virtual_pool_penalty_cycles: 12_000,
+            launch_dram_transactions: 6,
+            virtual_pool_dram_transactions: 16,
+            dram_transaction_cycles: 64,
+            mem_base_cycles: 6,
+            mem_cycles_per_transaction: 12,
+            compute_cycles_per_op: 1,
+            atomic_cycles: 24,
+            syncthreads_cycles: 32,
+            global_barrier_cycles: 400,
+            swap_cycles: 2_500,
+            swap_dram_transactions: 128,
+            alloc_default_cycles: 12_000,
+            alloc_halloc_cycles: 900,
+            alloc_prealloc_cycles: 24,
+            segment_words: 16, // 16 * 8 B = 128 B segments
+            warp_issue_width: 4,
+        }
+    }
+}
+
+/// Static description of the simulated device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuConfig {
+    pub name: String,
+    pub num_sms: u32,
+    pub warp_size: u32,
+    pub max_threads_per_sm: u32,
+    pub max_blocks_per_sm: u32,
+    pub max_warps_per_sm: u32,
+    pub max_threads_per_block: u32,
+    pub registers_per_sm: u32,
+    pub shared_mem_per_sm: u32,
+    /// Maximum number of kernels executing concurrently (32 on compute 3.5).
+    pub max_concurrent_kernels: u32,
+    /// Fixed-size pending-launch pool capacity (2048 by default since CUDA 6;
+    /// adjustable via `cudaDeviceSetLimit`, which the ablation bench sweeps).
+    pub fixed_pool_capacity: u32,
+    /// Maximum device-side nesting depth (24).
+    pub max_nesting_depth: u32,
+    /// Core clock in GHz, used only to convert cycles to wall-clock estimates.
+    pub clock_ghz: f64,
+    pub costs: CostModel,
+}
+
+impl GpuConfig {
+    /// The K20c-like device every experiment in the paper ran on.
+    pub fn k20c() -> Self {
+        GpuConfig {
+            name: "K20c-like".to_string(),
+            num_sms: 13,
+            warp_size: 32,
+            max_threads_per_sm: 2048,
+            max_blocks_per_sm: 16,
+            max_warps_per_sm: 64,
+            max_threads_per_block: 1024,
+            registers_per_sm: 65_536,
+            shared_mem_per_sm: 48 * 1024,
+            max_concurrent_kernels: 32,
+            fixed_pool_capacity: 2048,
+            max_nesting_depth: 24,
+            clock_ghz: 0.706,
+            costs: CostModel::default(),
+        }
+    }
+
+    /// A K40-class device (15 SMX, higher clock): used to check that the
+    /// consolidation results are not artifacts of one hardware configuration.
+    pub fn k40() -> Self {
+        GpuConfig {
+            name: "K40-like".to_string(),
+            num_sms: 15,
+            clock_ghz: 0.745,
+            ..GpuConfig::k20c()
+        }
+    }
+
+    /// A deliberately tiny device for unit tests: failure modes (pool
+    /// overflow, slot exhaustion) trigger with small inputs.
+    pub fn tiny() -> Self {
+        GpuConfig {
+            name: "tiny-test-gpu".to_string(),
+            num_sms: 2,
+            warp_size: 32,
+            max_threads_per_sm: 256,
+            max_blocks_per_sm: 4,
+            max_warps_per_sm: 8,
+            max_threads_per_block: 128,
+            registers_per_sm: 16_384,
+            shared_mem_per_sm: 16 * 1024,
+            max_concurrent_kernels: 4,
+            fixed_pool_capacity: 8,
+            max_nesting_depth: 24,
+            clock_ghz: 1.0,
+            costs: CostModel::default(),
+        }
+    }
+
+    /// Convert a cycle count into milliseconds at this device's clock.
+    pub fn cycles_to_ms(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.clock_ghz * 1e6)
+    }
+
+    /// Number of warps needed for `threads` threads.
+    pub fn warps_for(&self, threads: u32) -> u32 {
+        threads.div_ceil(self.warp_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k20c_matches_paper_limits() {
+        let g = GpuConfig::k20c();
+        assert_eq!(g.max_concurrent_kernels, 32);
+        assert_eq!(g.fixed_pool_capacity, 2048);
+        assert_eq!(g.max_nesting_depth, 24);
+        assert_eq!(g.num_sms, 13);
+        assert_eq!(g.warp_size, 32);
+        assert_eq!(g.max_warps_per_sm, 64);
+    }
+
+    #[test]
+    fn cycles_to_ms_uses_clock() {
+        let g = GpuConfig::tiny();
+        assert!((g.cycles_to_ms(1_000_000) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warps_for_rounds_up() {
+        let g = GpuConfig::k20c();
+        assert_eq!(g.warps_for(1), 1);
+        assert_eq!(g.warps_for(32), 1);
+        assert_eq!(g.warps_for(33), 2);
+        assert_eq!(g.warps_for(1024), 32);
+    }
+
+    #[test]
+    fn cost_model_orders_allocators() {
+        let c = CostModel::default();
+        assert!(c.alloc_default_cycles > c.alloc_halloc_cycles);
+        assert!(c.alloc_halloc_cycles > c.alloc_prealloc_cycles);
+    }
+}

@@ -1,0 +1,149 @@
+//! Kernel interface between the simulator and kernel implementations.
+//!
+//! A kernel's *functional* behaviour is supplied by a [`KernelBody`]: the
+//! engine calls [`KernelBody::run_block`] once per block, in deterministic
+//! block order. The body executes the block's threads (however it likes —
+//! the `dpcons-ir` crate provides a warp-lockstep SIMT interpreter), mutates
+//! global memory, and reports per-segment metrics that the timing engine
+//! later replays against hardware resource limits.
+//!
+//! A block's execution is divided into **segments** at device-side
+//! `cudaDeviceSynchronize` points: the timing engine must be able to swap the
+//! block out between segments while its child kernels run (Section III.B
+//! "Synchronization Overhead").
+
+use std::collections::HashSet;
+
+use crate::alloc::DeviceHeap;
+use crate::config::CostModel;
+use crate::mem::GlobalMem;
+use crate::SimError;
+
+/// Index of a registered kernel within an [`crate::engine::Engine`].
+pub type KernelId = usize;
+
+/// A kernel launch request: either from the host or from a device thread.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaunchSpec {
+    pub kernel: KernelId,
+    /// Number of thread blocks.
+    pub grid: u32,
+    /// Threads per block.
+    pub block: u32,
+    /// Scalar arguments (array handles are passed as their `ArrayId` value).
+    pub args: Vec<i64>,
+}
+
+impl LaunchSpec {
+    pub fn new(kernel: KernelId, grid: u32, block: u32, args: Vec<i64>) -> Self {
+        LaunchSpec { kernel, grid, block, args }
+    }
+}
+
+/// Metrics for one segment of one block (between `cudaDeviceSynchronize`
+/// boundaries), produced by the functional phase.
+#[derive(Debug, Clone, Default)]
+pub struct SegmentResult {
+    /// Block-level duration in cycles: per-`__syncthreads`-phase maximum over
+    /// the block's warps, summed over phases.
+    pub duration: u64,
+    /// Sum of per-warp cycle counts (the denominator basis for warp
+    /// execution efficiency and the occupancy integration).
+    pub warp_cycles_sum: u64,
+    /// Sum over warps of per-lane *active* cycles (numerator of warp
+    /// execution efficiency: "average active threads per warp").
+    pub active_thread_cycles: u64,
+    /// `warp_cycles_sum * warp_size`: the efficiency denominator.
+    pub thread_cycles_possible: u64,
+    /// Coalesced DRAM transactions issued by this segment.
+    pub dram_transactions: u64,
+    /// Device-side child launches issued during this segment, in issue order.
+    pub launches: Vec<LaunchSpec>,
+    /// True when the segment ended at a `cudaDeviceSynchronize`: the block
+    /// must wait for all children it has launched so far before continuing.
+    pub ends_with_device_sync: bool,
+}
+
+/// Functional result of one block: one or more segments.
+#[derive(Debug, Clone, Default)]
+pub struct BlockResult {
+    pub segments: Vec<SegmentResult>,
+}
+
+impl BlockResult {
+    /// Convenience for single-segment blocks (no device-side sync).
+    pub fn single(seg: SegmentResult) -> Self {
+        BlockResult { segments: vec![seg] }
+    }
+
+    pub fn total_launches(&self) -> usize {
+        self.segments.iter().map(|s| s.launches.len()).sum()
+    }
+}
+
+/// Execution context handed to [`KernelBody::run_block`].
+pub struct BlockCtx<'a> {
+    pub block_id: u32,
+    pub grid_dim: u32,
+    pub block_dim: u32,
+    /// Dynamic-parallelism nesting depth of this kernel (0 = host-launched).
+    pub depth: u32,
+    pub args: &'a [i64],
+    pub warp_size: u32,
+    pub mem: &'a mut GlobalMem,
+    pub heap: &'a mut DeviceHeap,
+    pub cost: &'a CostModel,
+    /// Coalescing segments already fetched by this block: re-accesses hit
+    /// cache instead of DRAM. Larger (consolidated) blocks reuse more —
+    /// the caching effect Section V.D credits for the DRAM reduction.
+    pub touched_segments: &'a mut HashSet<u64>,
+}
+
+/// The functional behaviour of a kernel.
+pub trait KernelBody: Send + Sync {
+    fn name(&self) -> &str;
+
+    /// Execute one block: mutate memory, return per-segment metrics.
+    fn run_block(&self, ctx: &mut BlockCtx<'_>) -> Result<BlockResult, SimError>;
+
+    /// Registers per thread, used for SM residency and occupancy.
+    fn regs_per_thread(&self) -> u32 {
+        32
+    }
+
+    /// Static shared memory per block in bytes.
+    fn shared_bytes(&self) -> u32 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Nop;
+    impl KernelBody for Nop {
+        fn name(&self) -> &str {
+            "nop"
+        }
+        fn run_block(&self, _ctx: &mut BlockCtx<'_>) -> Result<BlockResult, SimError> {
+            Ok(BlockResult::single(SegmentResult { duration: 1, ..Default::default() }))
+        }
+    }
+
+    #[test]
+    fn default_resource_metadata() {
+        let k = Nop;
+        assert_eq!(k.regs_per_thread(), 32);
+        assert_eq!(k.shared_bytes(), 0);
+    }
+
+    #[test]
+    fn block_result_counts_launches() {
+        let mut seg = SegmentResult::default();
+        seg.launches.push(LaunchSpec::new(0, 1, 32, vec![]));
+        seg.launches.push(LaunchSpec::new(0, 1, 32, vec![]));
+        let r = BlockResult { segments: vec![seg.clone(), SegmentResult::default()] };
+        assert_eq!(r.total_launches(), 2);
+    }
+}

@@ -1,0 +1,136 @@
+//! Kernel-span timeline extracted from a launch tree.
+//!
+//! [`summarize`] condenses the functional records of one host launch into
+//! per-kernel spans and depth histograms — the launch-tree view used by the
+//! examples and by tests that reason about recursion structure (e.g.
+//! "grid-level consolidation launches exactly one kernel per level").
+
+use crate::engine::ExecRecord;
+
+/// Structural summary of one kernel execution within a launch tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelSummary {
+    pub kernel: usize,
+    pub depth: u32,
+    pub grid: u32,
+    pub block: u32,
+    /// Children launched by this execution.
+    pub children: u32,
+    /// Total device launches in the subtree rooted here (excluding self).
+    pub subtree_launches: u64,
+}
+
+/// Per-depth aggregate of a launch tree.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DepthLevel {
+    pub kernels: u64,
+    pub blocks: u64,
+    pub threads: u64,
+}
+
+/// Launch-tree summary: spans plus per-depth aggregates.
+#[derive(Debug, Clone, Default)]
+pub struct LaunchTree {
+    pub kernels: Vec<KernelSummary>,
+    pub levels: Vec<DepthLevel>,
+}
+
+impl LaunchTree {
+    pub fn max_depth(&self) -> u32 {
+        self.levels.len().saturating_sub(1) as u32
+    }
+
+    /// Kernels launched at each depth, root first.
+    pub fn kernels_per_level(&self) -> Vec<u64> {
+        self.levels.iter().map(|l| l.kernels).collect()
+    }
+}
+
+/// Build the launch-tree summary from functional records.
+pub fn summarize(records: &[ExecRecord]) -> LaunchTree {
+    let mut kernels: Vec<KernelSummary> = records
+        .iter()
+        .map(|r| KernelSummary {
+            kernel: r.spec.kernel,
+            depth: r.depth,
+            grid: r.spec.grid,
+            block: r.spec.block,
+            children: 0,
+            subtree_launches: 0,
+        })
+        .collect();
+    // Children counts.
+    for r in records {
+        if let Some((parent, _, _)) = r.parent {
+            kernels[parent].children += 1;
+        }
+    }
+    // Subtree launches: records are in BFS order, so a reverse scan
+    // propagates child counts to parents.
+    for i in (0..records.len()).rev() {
+        if let Some((parent, _, _)) = records[i].parent {
+            let add = kernels[i].subtree_launches + 1;
+            kernels[parent].subtree_launches += add;
+        }
+    }
+    let max_depth = records.iter().map(|r| r.depth).max().unwrap_or(0);
+    let mut levels = vec![DepthLevel::default(); max_depth as usize + 1];
+    for r in records {
+        let l = &mut levels[r.depth as usize];
+        l.kernels += 1;
+        l.blocks += r.spec.grid as u64;
+        l.threads += r.spec.grid as u64 * r.spec.block as u64;
+    }
+    LaunchTree { kernels, levels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ExecRecord;
+    use crate::kernel::{BlockResult, LaunchSpec};
+
+    fn rec(
+        kernel: usize,
+        depth: u32,
+        grid: u32,
+        block: u32,
+        parent: Option<(usize, u32, usize)>,
+    ) -> ExecRecord {
+        ExecRecord {
+            spec: LaunchSpec::new(kernel, grid, block, vec![]),
+            depth,
+            parent,
+            blocks: vec![BlockResult::default(); grid as usize],
+            regs_per_thread: 32,
+            shared_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn summarizes_a_two_level_tree() {
+        // root -> {a, b}; a -> {c}
+        let records = vec![
+            rec(0, 0, 2, 64, None),
+            rec(1, 1, 1, 32, Some((0, 0, 0))),
+            rec(1, 1, 1, 32, Some((0, 1, 0))),
+            rec(2, 2, 1, 32, Some((1, 0, 0))),
+        ];
+        let t = summarize(&records);
+        assert_eq!(t.max_depth(), 2);
+        assert_eq!(t.kernels_per_level(), vec![1, 2, 1]);
+        assert_eq!(t.kernels[0].children, 2);
+        assert_eq!(t.kernels[0].subtree_launches, 3);
+        assert_eq!(t.kernels[1].subtree_launches, 1);
+        assert_eq!(t.kernels[3].subtree_launches, 0);
+        assert_eq!(t.levels[0].threads, 128);
+        assert_eq!(t.levels[1].threads, 64);
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = summarize(&[]);
+        assert_eq!(t.kernels_per_level(), vec![0]);
+        assert!(t.kernels.is_empty());
+    }
+}

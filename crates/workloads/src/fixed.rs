@@ -1,0 +1,61 @@
+//! Q47.16 fixed-point helpers.
+//!
+//! SpMV and PageRank use real-valued arithmetic on the GPU; to keep every
+//! kernel variant bit-reproducible (the oracle for the consolidation
+//! transforms is exact output equality), all floating-point math is done in
+//! 16-bit-fraction fixed point on `i64`. Addition stays associative, so
+//! parallel reduction order cannot change results.
+
+/// Fraction bits.
+pub const FRAC_BITS: u32 = 16;
+/// 1.0 in fixed point.
+pub const ONE: i64 = 1 << FRAC_BITS;
+
+/// Convert a float to fixed point (round toward zero).
+pub fn to_fixed(x: f64) -> i64 {
+    (x * ONE as f64) as i64
+}
+
+/// Convert fixed point back to float.
+pub fn to_float(x: i64) -> f64 {
+    x as f64 / ONE as f64
+}
+
+/// Fixed-point multiply: `(a * b) >> 16`.
+pub fn fmul(a: i64, b: i64) -> i64 {
+    (a.wrapping_mul(b)) >> FRAC_BITS
+}
+
+/// Fixed-point divide of two fixed-point operands: `(a << 16) / b`.
+/// (To divide a fixed-point value by a plain integer count — e.g. a rank by
+/// a degree — use ordinary `/`, which the kernels do too.)
+pub fn fdiv(a: i64, b: i64) -> i64 {
+    if b == 0 {
+        0
+    } else {
+        (a << FRAC_BITS) / b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_arithmetic() {
+        assert_eq!(to_fixed(1.0), ONE);
+        assert!((to_float(to_fixed(3.25)) - 3.25).abs() < 1e-4);
+        assert_eq!(fmul(to_fixed(2.0), to_fixed(3.0)), to_fixed(6.0));
+        assert_eq!(fdiv(to_fixed(6.0), to_fixed(3.0)), to_fixed(2.0));
+        assert_eq!(fdiv(to_fixed(1.0), to_fixed(4.0)), to_fixed(0.25));
+        assert_eq!(fdiv(1, 0), 0);
+    }
+
+    #[test]
+    fn fixed_add_is_associative_under_permutation() {
+        let xs: Vec<i64> = (0..100).map(|i| to_fixed(0.01 * i as f64)).collect();
+        let fwd: i64 = xs.iter().sum();
+        let rev: i64 = xs.iter().rev().sum();
+        assert_eq!(fwd, rev);
+    }
+}

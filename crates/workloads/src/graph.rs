@@ -1,0 +1,171 @@
+//! Compressed Sparse Row graphs.
+//!
+//! The paper's graph and sparse-matrix benchmarks all operate on CSR
+//! (Section II.B): `row_ptr[u]..row_ptr[u+1]` indexes the adjacency slice of
+//! node `u` in `col` (and `weight` for weighted graphs). Irregularity — the
+//! variance of `deg(u)` — is exactly what makes flat parallelizations of
+//! these kernels divergent and what dynamic parallelism redistributes.
+
+/// A directed graph in CSR form, optionally edge-weighted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrGraph {
+    pub n: usize,
+    pub row_ptr: Vec<i64>,
+    pub col: Vec<i64>,
+    pub weight: Option<Vec<i64>>,
+}
+
+impl CsrGraph {
+    /// Build from an edge list (duplicates allowed, order irrelevant).
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> CsrGraph {
+        let mut deg = vec![0i64; n];
+        for &(u, _) in edges {
+            deg[u as usize] += 1;
+        }
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut acc = 0i64;
+        for d in &deg {
+            row_ptr.push(acc);
+            acc += d;
+        }
+        row_ptr.push(acc);
+        let mut col = vec![0i64; edges.len()];
+        let mut cursor: Vec<i64> = row_ptr[..n].to_vec();
+        for &(u, v) in edges {
+            let c = &mut cursor[u as usize];
+            col[*c as usize] = v as i64;
+            *c += 1;
+        }
+        CsrGraph { n, row_ptr, col, weight: None }
+    }
+
+    /// Attach deterministic pseudo-random positive weights in `1..=max_w`.
+    pub fn with_weights(mut self, max_w: i64, seed: u64) -> CsrGraph {
+        let mut s = seed | 1;
+        let w = self
+            .col
+            .iter()
+            .map(|&c| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(c as u64 | 1);
+                1 + ((s >> 33) as i64).rem_euclid(max_w.max(1))
+            })
+            .collect();
+        self.weight = Some(w);
+        self
+    }
+
+    pub fn num_edges(&self) -> usize {
+        self.col.len()
+    }
+
+    /// Symmetric closure (used by graph coloring, which needs an undirected
+    /// neighbor relation). Weights are dropped; duplicate edges are removed.
+    pub fn symmetrize(&self) -> CsrGraph {
+        let mut edges = Vec::with_capacity(self.col.len() * 2);
+        for u in 0..self.n {
+            for &v in self.neighbors(u) {
+                if u as i64 != v {
+                    edges.push((u as u32, v as u32));
+                    edges.push((v as u32, u as u32));
+                }
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        CsrGraph::from_edges(self.n, &edges)
+    }
+
+    pub fn degree(&self, u: usize) -> i64 {
+        self.row_ptr[u + 1] - self.row_ptr[u]
+    }
+
+    pub fn neighbors(&self, u: usize) -> &[i64] {
+        &self.col[self.row_ptr[u] as usize..self.row_ptr[u + 1] as usize]
+    }
+
+    /// Degree statistics: (min, max, mean).
+    pub fn degree_stats(&self) -> (i64, i64, f64) {
+        let mut min = i64::MAX;
+        let mut max = 0;
+        for u in 0..self.n {
+            let d = self.degree(u);
+            min = min.min(d);
+            max = max.max(d);
+        }
+        let mean = self.num_edges() as f64 / self.n.max(1) as f64;
+        (if self.n == 0 { 0 } else { min }, max, mean)
+    }
+
+    /// Structural sanity: monotone row_ptr covering col, targets in range.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.row_ptr.len() != self.n + 1 {
+            return Err(format!("row_ptr has {} entries for n={}", self.row_ptr.len(), self.n));
+        }
+        if self.row_ptr[0] != 0 || *self.row_ptr.last().unwrap() != self.col.len() as i64 {
+            return Err("row_ptr does not cover col".to_string());
+        }
+        for w in self.row_ptr.windows(2) {
+            if w[1] < w[0] {
+                return Err("row_ptr not monotone".to_string());
+            }
+        }
+        for &c in &self.col {
+            if c < 0 || c as usize >= self.n {
+                return Err(format!("column index {c} out of range 0..{}", self.n));
+            }
+        }
+        if let Some(w) = &self.weight {
+            if w.len() != self.col.len() {
+                return Err("weight length mismatch".to_string());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> CsrGraph {
+        // 0 -> 1,2 ; 1 -> 3 ; 2 -> 3
+        CsrGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn from_edges_builds_valid_csr() {
+        let g = diamond();
+        g.validate().unwrap();
+        assert_eq!(g.row_ptr, vec![0, 2, 3, 4, 4]);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(3), &[] as &[i64]);
+        assert_eq!(g.degree(1), 1);
+    }
+
+    #[test]
+    fn degree_stats_reported() {
+        let g = diamond();
+        let (min, max, mean) = g.degree_stats();
+        assert_eq!(min, 0);
+        assert_eq!(max, 2);
+        assert!((mean - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weights_are_deterministic_and_positive() {
+        let a = diamond().with_weights(15, 42);
+        let b = diamond().with_weights(15, 42);
+        assert_eq!(a.weight, b.weight);
+        assert!(a.weight.unwrap().iter().all(|&w| (1..=15).contains(&w)));
+    }
+
+    #[test]
+    fn validate_catches_corruption() {
+        let mut g = diamond();
+        g.col[0] = 99;
+        assert!(g.validate().is_err());
+        let mut g2 = diamond();
+        g2.row_ptr[1] = 5;
+        assert!(g2.validate().is_err());
+    }
+}

@@ -1,0 +1,270 @@
+//! Sequential CPU reference implementations — the oracles every GPU variant
+//! (flat, basic-dp, and all consolidated forms) must match *exactly*.
+//!
+//! The algorithms are written with the same iteration structure and integer /
+//! fixed-point arithmetic as the kernels, so results are bit-identical, not
+//! merely approximately equal.
+
+use crate::fixed::{fmul, ONE};
+use crate::graph::CsrGraph;
+
+/// "Infinity" distance/level — far below `i64::MAX` so relaxations never
+/// overflow when a weight is added.
+pub const INF: i64 = i64::MAX / 4;
+
+/// Single-source shortest paths: synchronous Bellman-Ford iterated to the
+/// fixpoint (the fixpoint is unique, so any relaxation order agrees).
+pub fn sssp(g: &CsrGraph, src: usize) -> Vec<i64> {
+    let w = g.weight.as_ref().expect("sssp needs an edge-weighted graph");
+    let mut dist = vec![INF; g.n];
+    dist[src] = 0;
+    loop {
+        let mut changed = false;
+        for u in 0..g.n {
+            if dist[u] == INF {
+                continue;
+            }
+            let (s, e) = (g.row_ptr[u] as usize, g.row_ptr[u + 1] as usize);
+            for ei in s..e {
+                let v = g.col[ei] as usize;
+                let nd = dist[u] + w[ei];
+                if nd < dist[v] {
+                    dist[v] = nd;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    dist
+}
+
+/// Sparse matrix-vector product in fixed point: `y[u] = Σ_e a[e] * x[col[e]]`.
+pub fn spmv(g: &CsrGraph, x: &[i64]) -> Vec<i64> {
+    let a = g.weight.as_ref().expect("spmv needs matrix values");
+    let mut y = vec![0i64; g.n];
+    for u in 0..g.n {
+        let (s, e) = (g.row_ptr[u] as usize, g.row_ptr[u + 1] as usize);
+        let mut acc = 0i64;
+        for ei in s..e {
+            acc = acc.wrapping_add(fmul(a[ei], x[g.col[ei] as usize]));
+        }
+        y[u] = acc;
+    }
+    y
+}
+
+/// Push-style PageRank in fixed point, `iters` synchronous iterations with
+/// damping `alpha` (fixed point). Dangling mass is dropped, exactly as the
+/// kernels do.
+pub fn pagerank(g: &CsrGraph, iters: u32, alpha: i64) -> Vec<i64> {
+    let n = g.n.max(1) as i64;
+    let mut rank = vec![ONE / n; g.n];
+    let base = (ONE - alpha) / n;
+    for _ in 0..iters {
+        let mut next = vec![0i64; g.n];
+        for u in 0..g.n {
+            let deg = g.degree(u);
+            if deg == 0 {
+                continue;
+            }
+            let c = rank[u] / deg;
+            let (s, e) = (g.row_ptr[u] as usize, g.row_ptr[u + 1] as usize);
+            for ei in s..e {
+                let v = g.col[ei] as usize;
+                next[v] = next[v].wrapping_add(c);
+            }
+        }
+        for v in 0..g.n {
+            rank[v] = base + fmul(alpha, next[v]);
+        }
+    }
+    rank
+}
+
+/// Deterministic priority permutation for graph coloring.
+pub fn coloring_priorities(n: usize, seed: u64) -> Vec<i64> {
+    let mut p: Vec<i64> = (0..n as i64).collect();
+    let mut s = seed | 1;
+    for i in (1..n).rev() {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        let j = (s % (i as u64 + 1)) as usize;
+        p.swap(i, j);
+    }
+    p
+}
+
+/// Luby/Jones–Plassmann-style greedy coloring: each round, every uncolored
+/// node whose priority exceeds all uncolored neighbors' takes the round
+/// number as its color. Returns `(colors, rounds)`. Round-synchronous, so the
+/// result is independent of intra-round evaluation order.
+pub fn graph_coloring(g: &CsrGraph, pri: &[i64]) -> (Vec<i64>, u32) {
+    let mut color = vec![-1i64; g.n];
+    let mut round = 0u32;
+    loop {
+        let snapshot = color.clone();
+        let mut any_uncolored = false;
+        let mut progressed = false;
+        for u in 0..g.n {
+            if snapshot[u] >= 0 {
+                continue;
+            }
+            any_uncolored = true;
+            let mut maxpri = -1i64;
+            for &v in g.neighbors(u) {
+                let v = v as usize;
+                if snapshot[v] < 0 && v != u {
+                    maxpri = maxpri.max(pri[v]);
+                }
+            }
+            if pri[u] > maxpri {
+                color[u] = round as i64;
+                progressed = true;
+            }
+        }
+        if !any_uncolored {
+            break;
+        }
+        assert!(progressed, "coloring must progress every round");
+        round += 1;
+    }
+    (color, round)
+}
+
+/// Check that a coloring is proper (ignoring self-loops).
+pub fn coloring_is_proper(g: &CsrGraph, color: &[i64]) -> bool {
+    (0..g.n).all(|u| {
+        color[u] >= 0
+            && g.neighbors(u).iter().all(|&v| v as usize == u || color[v as usize] != color[u])
+    })
+}
+
+/// BFS levels from `src` (unweighted; `INF` for unreachable nodes).
+pub fn bfs_levels(g: &CsrGraph, src: usize) -> Vec<i64> {
+    let mut level = vec![INF; g.n];
+    level[src] = 0;
+    let mut frontier = vec![src];
+    let mut l = 0i64;
+    while !frontier.is_empty() {
+        let mut next = Vec::new();
+        for &u in &frontier {
+            for &v in g.neighbors(u) {
+                let v = v as usize;
+                if level[v] == INF {
+                    level[v] = l + 1;
+                    next.push(v);
+                }
+            }
+        }
+        frontier = next;
+        l += 1;
+    }
+    level
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixed::to_fixed;
+    use crate::gen;
+
+    fn weighted_diamond() -> CsrGraph {
+        let mut g = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        g.weight = Some(vec![1, 4, 1, 1]);
+        g
+    }
+
+    #[test]
+    fn sssp_hand_checked() {
+        let g = weighted_diamond();
+        let d = sssp(&g, 0);
+        assert_eq!(d, vec![0, 1, 4, 2]);
+    }
+
+    #[test]
+    fn sssp_unreachable_stays_inf() {
+        let mut g = CsrGraph::from_edges(3, &[(0, 1)]);
+        g.weight = Some(vec![5]);
+        let d = sssp(&g, 0);
+        assert_eq!(d, vec![0, 5, INF]);
+    }
+
+    #[test]
+    fn sssp_on_unit_weights_matches_bfs() {
+        let g = gen::citeseer_like(300, 6.0, 60, 9).with_weights(1, 1);
+        let d = sssp(&g, 0);
+        let b = bfs_levels(&g, 0);
+        assert_eq!(d, b);
+    }
+
+    #[test]
+    fn spmv_hand_checked() {
+        let mut g = CsrGraph::from_edges(2, &[(0, 0), (0, 1), (1, 1)]);
+        g.weight = Some(vec![to_fixed(1.0), to_fixed(2.0), to_fixed(0.5)]);
+        let x = vec![to_fixed(3.0), to_fixed(4.0)];
+        let y = spmv(&g, &x);
+        assert_eq!(y, vec![to_fixed(11.0), to_fixed(2.0)]);
+    }
+
+    #[test]
+    fn pagerank_on_circulant_is_uniform() {
+        // u -> u+1..u+4 (mod n): in-degree == out-degree == 4 everywhere, so
+        // every node keeps exactly the same rank.
+        let n = 100u32;
+        let edges: Vec<(u32, u32)> = (0..n)
+            .flat_map(|u| (1..=4).map(move |k| (u, (u + k) % n)))
+            .collect();
+        let g = CsrGraph::from_edges(n as usize, &edges);
+        let r = pagerank(&g, 10, to_fixed(0.85));
+        assert!(r.iter().all(|&x| x > 0));
+        assert_eq!(*r.iter().min().unwrap(), *r.iter().max().unwrap());
+    }
+
+    #[test]
+    fn pagerank_star_center_receives_mass() {
+        // Everyone points at node 0 => node 0's rank dominates.
+        let edges: Vec<(u32, u32)> = (1..50u32).map(|u| (u, 0)).collect();
+        let g = CsrGraph::from_edges(50, &edges);
+        let r = pagerank(&g, 15, to_fixed(0.85));
+        assert!(r[0] > 10 * r[1]);
+    }
+
+    #[test]
+    fn coloring_is_proper_and_deterministic() {
+        let g = gen::citeseer_like(400, 8.0, 80, 5).symmetrize();
+        let pri = coloring_priorities(g.n, 11);
+        let (c1, rounds) = graph_coloring(&g, &pri);
+        let (c2, _) = graph_coloring(&g, &pri);
+        assert_eq!(c1, c2);
+        assert!(coloring_is_proper(&g, &c1));
+        assert!(rounds >= 1);
+    }
+
+    #[test]
+    fn priorities_are_a_permutation() {
+        let p = coloring_priorities(1000, 3);
+        let mut sorted = p.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..1000).collect::<Vec<i64>>());
+        assert_ne!(p, coloring_priorities(1000, 4));
+    }
+
+    #[test]
+    fn bfs_levels_on_chain() {
+        let g = gen::chain(10);
+        let l = bfs_levels(&g, 0);
+        assert_eq!(l, (0..10).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn bfs_star_is_one_hop() {
+        let g = gen::star(64);
+        let l = bfs_levels(&g, 0);
+        assert_eq!(l[0], 0);
+        assert!(l[1..].iter().all(|&x| x == 1));
+    }
+}

@@ -1,0 +1,118 @@
+//! Quickstart: annotate a basic-dp kernel, consolidate it, run both on the
+//! simulated GPU, and compare.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use dpcons::compiler::{consolidate, prepare_launch, reset_launch, Directive, Granularity};
+use dpcons::ir::dsl::*;
+use dpcons::ir::{install, module_to_string, Module};
+use dpcons::sim::{AllocKind, Engine, GpuConfig, LaunchSpec};
+
+fn main() {
+    // -----------------------------------------------------------------
+    // 1. Write a basic-dp program: each thread owns an item; heavy items
+    //    spawn a child kernel (the paper's Fig. 1 template).
+    // -----------------------------------------------------------------
+    let mut module = Module::new();
+    module.add(
+        KernelBuilder::new("child")
+            .array("sizes")
+            .array("out")
+            .scalar("item")
+            .body(vec![for_step(
+                "j",
+                tid(),
+                load(v("sizes"), v("item")),
+                ntid(),
+                vec![atomic_add(None, v("out"), v("item"), i(1))],
+            )]),
+    );
+    module.add(
+        KernelBuilder::new("parent")
+            .array("sizes")
+            .array("out")
+            .scalar("n")
+            .scalar("thr")
+            .body(vec![
+                let_("id", gtid()),
+                when(
+                    lt(v("id"), v("n")),
+                    vec![
+                        let_("sz", load(v("sizes"), v("id"))),
+                        if_(
+                            gt(v("sz"), v("thr")),
+                            vec![launch("child", i(1), i(128), vec![v("sizes"), v("out"), v("id")])],
+                            vec![for_("j", i(0), v("sz"), vec![atomic_add(
+                                None,
+                                v("out"),
+                                v("id"),
+                                i(1),
+                            )])],
+                        ),
+                    ],
+                ),
+            ]),
+    );
+
+    // -----------------------------------------------------------------
+    // 2. Annotate with `#pragma dp` and run the consolidation compiler.
+    // -----------------------------------------------------------------
+    let directive =
+        Directive::parse("#pragma dp consldt(block) buffer(custom) work(id)").unwrap();
+    let gpu = GpuConfig::k20c();
+    let cons = consolidate(&module, "parent", &directive, &gpu, None).unwrap();
+    println!("=== generated CUDA-like source ===\n");
+    println!("{}", module_to_string(&cons.module));
+
+    // -----------------------------------------------------------------
+    // 3. Run both variants on the simulated K20c and compare.
+    // -----------------------------------------------------------------
+    let n = 4096usize;
+    let sizes: Vec<i64> = (0..n).map(|i| if i % 5 == 0 { 300 } else { 3 }).collect();
+
+    let run = |m: &Module, consolidated: Option<&dpcons::compiler::Consolidated>| {
+        let mut e = Engine::new(gpu.clone(), AllocKind::PreAlloc, 1 << 22);
+        let sizes_h = e.mem.alloc_array_init("sizes", sizes.clone());
+        let out_h = e.mem.alloc_array("out", n);
+        let ids = install(&mut e, m).unwrap();
+        let args = vec![sizes_h as i64, out_h as i64, n as i64, 32];
+        let config = ((n as u32).div_ceil(128), 128);
+        let report = match consolidated {
+            None => e
+                .launch(LaunchSpec::new(ids["parent"], config.0, config.1, args))
+                .unwrap(),
+            Some(c) => {
+                let mut prep =
+                    prepare_launch(&mut e, &c.info, &ids, &args, config, 1 << 20).unwrap();
+                reset_launch(&mut e, &mut prep).unwrap();
+                e.launch(prep.spec.clone()).unwrap()
+            }
+        };
+        (e.mem.slice(out_h).unwrap().to_vec(), report)
+    };
+
+    let (basic_out, basic) = run(&module, None);
+    let (cons_out, consd) = run(&cons.module, Some(&cons));
+    assert_eq!(basic_out, cons_out, "consolidation must preserve results");
+
+    println!("=== profile ===");
+    println!(
+        "basic-dp:     {:>12} cycles, {:>6} child launches, warp efficiency {:>5.1}%",
+        basic.total_cycles,
+        basic.device_launches,
+        basic.warp_exec_efficiency * 100.0
+    );
+    println!(
+        "consolidated: {:>12} cycles, {:>6} child launches, warp efficiency {:>5.1}%",
+        consd.total_cycles,
+        consd.device_launches,
+        consd.warp_exec_efficiency * 100.0
+    );
+    println!(
+        "speedup: {:.1}x  (launches reduced to {:.2}%)",
+        basic.total_cycles as f64 / consd.total_cycles as f64,
+        100.0 * consd.device_launches as f64 / basic.device_launches.max(1) as f64
+    );
+}

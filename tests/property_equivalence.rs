@@ -1,0 +1,86 @@
+//! Property-based tests: on randomly generated workloads, every compiler
+//! variant must produce exactly the CPU oracle's output. This is the
+//! strongest statement about the consolidation transforms — they are
+//! semantics-preserving over the whole input space we can sample.
+
+use dpcons::apps::{Benchmark, BfsRec, RunConfig, Spmv, Sssp, TreeDescendants, Variant};
+use dpcons::workloads::{gen, generate_tree, TreeParams};
+use proptest::prelude::*;
+
+fn small_cfg() -> RunConfig {
+    RunConfig { threshold: 8, ..Default::default() }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    #[test]
+    fn sssp_all_variants_equal_oracle(
+        n in 50usize..400,
+        avg in 2.0f64..12.0,
+        maxd in 20usize..120,
+        seed in any::<u64>(),
+    ) {
+        let g = gen::citeseer_like(n, avg, maxd, seed).with_weights(15, seed ^ 1);
+        let app = Sssp::new(g, 0);
+        let expected = app.reference();
+        for variant in Variant::ALL {
+            let out = app.run(variant, &small_cfg()).unwrap();
+            prop_assert_eq!(&out.output, &expected, "{} diverged", variant.label());
+        }
+    }
+
+    #[test]
+    fn spmv_all_variants_equal_oracle(
+        n in 50usize..300,
+        avg in 2.0f64..10.0,
+        seed in any::<u64>(),
+    ) {
+        let m = gen::citeseer_like(n, avg, 80, seed).with_weights(1 << 18, seed ^ 2);
+        let x = Spmv::default_x(n);
+        let app = Spmv::new(m, x);
+        let expected = app.reference();
+        for variant in Variant::ALL {
+            let out = app.run(variant, &small_cfg()).unwrap();
+            prop_assert_eq!(&out.output, &expected, "{} diverged", variant.label());
+        }
+    }
+
+    #[test]
+    fn bfs_all_variants_equal_oracle(
+        log_n in 6u32..9,
+        avg in 4.0f64..12.0,
+        seed in any::<u64>(),
+    ) {
+        let g = gen::kron_like(log_n, avg, seed);
+        let app = BfsRec::new(g, 0);
+        let expected = app.reference();
+        for variant in Variant::ALL {
+            let out = app.run(variant, &small_cfg()).unwrap();
+            prop_assert_eq!(&out.output, &expected, "{} diverged", variant.label());
+        }
+    }
+
+    #[test]
+    fn tree_descendants_all_variants_equal_oracle(
+        depth in 1u32..5,
+        min_c in 2usize..5,
+        extra in 1usize..6,
+        fill in prop::sample::select(vec![0.4f64, 0.7, 1.0]),
+        seed in any::<u64>(),
+    ) {
+        let t = generate_tree(TreeParams {
+            depth,
+            min_children: min_c,
+            max_children: min_c + extra,
+            fill_prob: fill,
+            seed,
+        });
+        let app = TreeDescendants::new(t);
+        let expected = app.reference();
+        for variant in Variant::ALL {
+            let out = app.run(variant, &small_cfg()).unwrap();
+            prop_assert_eq!(&out.output, &expected, "{} diverged", variant.label());
+        }
+    }
+}
