@@ -196,6 +196,14 @@ impl Benchmark for BfsRec {
         Ok(s.finish(out, iters))
     }
 
+    fn tune_model(&self) -> Option<crate::runner::TuneModel> {
+        Some(crate::runner::TuneModel {
+            module_dp: Self::module_dp(),
+            parent: "bfs_rec",
+            directive: Self::directive,
+        })
+    }
+
     fn reference(&self) -> Vec<i64> {
         reference::bfs_levels(&self.graph, self.src)
     }
@@ -217,20 +225,14 @@ mod tests {
         let a = app();
         let cfg = RunConfig { threshold: 16, ..Default::default() };
         for variant in Variant::ALL {
-            a.verify(variant, &cfg)
-                .unwrap_or_else(|e| panic!("{} failed: {e}", variant.label()));
+            a.verify(variant, &cfg).unwrap_or_else(|e| panic!("{} failed: {e}", variant.label()));
         }
     }
 
     #[test]
     fn consolidated_grid_launches_once_per_level() {
         let a = app();
-        let depth = *a
-            .reference()
-            .iter()
-            .filter(|&&l| l < INF)
-            .max()
-            .unwrap();
+        let depth = *a.reference().iter().filter(|&&l| l < INF).max().unwrap();
         let out = a.run(Variant::Consolidated(Granularity::Grid), &RunConfig::default()).unwrap();
         // One consolidated kernel per BFS level below the seed.
         assert!(out.report.device_launches <= depth as u64);

@@ -162,11 +162,8 @@ impl GraphColoring {
     }
 
     pub fn directive(g: Granularity) -> Directive {
-        Directive::parse(&format!(
-            "#pragma dp consldt({}) buffer(custom) work(u)",
-            g.label()
-        ))
-        .expect("static pragma parses")
+        Directive::parse(&format!("#pragma dp consldt({}) buffer(custom) work(u)", g.label()))
+            .expect("static pragma parses")
     }
 }
 
@@ -235,6 +232,14 @@ impl Benchmark for GraphColoring {
         Ok(s.finish(out, round as u32 + 1))
     }
 
+    fn tune_model(&self) -> Option<crate::runner::TuneModel> {
+        Some(crate::runner::TuneModel {
+            module_dp: Self::module_dp(),
+            parent: "gc_scan",
+            directive: Self::directive,
+        })
+    }
+
     fn reference(&self) -> Vec<i64> {
         reference::graph_coloring(&self.graph, &self.pri).0
     }
@@ -254,8 +259,7 @@ mod tests {
         let a = app();
         let cfg = RunConfig { threshold: 16, ..Default::default() };
         for variant in Variant::ALL {
-            a.verify(variant, &cfg)
-                .unwrap_or_else(|e| panic!("{} failed: {e}", variant.label()));
+            a.verify(variant, &cfg).unwrap_or_else(|e| panic!("{} failed: {e}", variant.label()));
         }
     }
 

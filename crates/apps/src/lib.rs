@@ -30,7 +30,9 @@ pub use bfs_rec::BfsRec;
 pub use datasets::Profile;
 pub use graph_coloring::GraphColoring;
 pub use pagerank::PageRank;
-pub use runner::{AppError, AppOutcome, Benchmark, RunConfig, Variant, VariantSession};
+pub use runner::{
+    AppError, AppOutcome, Benchmark, RunConfig, TuneModel, TunedDirective, Variant, VariantSession,
+};
 pub use spmv::Spmv;
 pub use sssp::Sssp;
 pub use tree_descendants::TreeDescendants;
@@ -41,16 +43,11 @@ pub use tree_heights::TreeHeights;
 pub fn all_benchmarks(p: Profile) -> Vec<Box<dyn Benchmark>> {
     vec![
         Box::new(Sssp::new(datasets::citeseer(p).with_weights(15, 0xD15), 0)),
-        Box::new(Spmv::new(
-            {
-                let m = datasets::citeseer(p).with_weights(1 << 18, 0xA2);
-                m
-            },
-            {
-                let n = datasets::citeseer(p).n;
-                Spmv::default_x(n)
-            },
-        )),
+        Box::new({
+            let m = datasets::citeseer(p).with_weights(1 << 18, 0xA2);
+            let x = Spmv::default_x(m.n);
+            Spmv::new(m, x)
+        }),
         Box::new(PageRank::new(datasets::citeseer(p), pagerank::DEFAULT_ITERS)),
         Box::new(GraphColoring::new(datasets::kron(p).symmetrize(), 0x6C)),
         Box::new(BfsRec::new(datasets::kron(p), 0)),

@@ -33,12 +33,7 @@ impl PageRank {
                 "j",
                 i(0),
                 v("deg"),
-                vec![atomic_add(
-                    None,
-                    v("next"),
-                    load(v("col"), add(v("first"), v("j"))),
-                    v("c"),
-                )],
+                vec![atomic_add(None, v("next"), load(v("col"), add(v("first"), v("j"))), v("c"))],
             ),
         ]
     }
@@ -157,11 +152,8 @@ impl PageRank {
     }
 
     pub fn directive(g: Granularity) -> Directive {
-        Directive::parse(&format!(
-            "#pragma dp consldt({}) buffer(custom) work(u)",
-            g.label()
-        ))
-        .expect("static pragma parses")
+        Directive::parse(&format!("#pragma dp consldt({}) buffer(custom) work(u)", g.label()))
+            .expect("static pragma parses")
     }
 }
 
@@ -213,6 +205,14 @@ impl Benchmark for PageRank {
         Ok(s.finish(out, self.iters))
     }
 
+    fn tune_model(&self) -> Option<crate::runner::TuneModel> {
+        Some(crate::runner::TuneModel {
+            module_dp: Self::module_dp(),
+            parent: "pr_push",
+            directive: Self::directive,
+        })
+    }
+
     fn reference(&self) -> Vec<i64> {
         reference::pagerank(&self.graph, self.iters, self.alpha)
     }
@@ -232,8 +232,7 @@ mod tests {
         let a = app();
         let cfg = RunConfig { threshold: 16, ..Default::default() };
         for variant in Variant::ALL {
-            a.verify(variant, &cfg)
-                .unwrap_or_else(|e| panic!("{} failed: {e}", variant.label()));
+            a.verify(variant, &cfg).unwrap_or_else(|e| panic!("{} failed: {e}", variant.label()));
         }
     }
 

@@ -11,11 +11,13 @@
 use std::collections::HashMap;
 
 use dpcons_core::{
-    consolidate, prepare_launch, reset_launch, ConfigPolicy, Consolidated, Directive,
-    Granularity, PreparedLaunch, TransformError,
+    consolidate, prepare_launch, reset_launch, ConfigPolicy, Consolidated, Directive, Granularity,
+    PreparedLaunch, SizeSpec, TransformError,
 };
 use dpcons_ir::{install, IrError, Module};
-use dpcons_sim::{AllocKind, ArrayId, Engine, GpuConfig, KernelId, LaunchSpec, ProfileReport, SimError};
+use dpcons_sim::{
+    AllocKind, ArrayId, Engine, GpuConfig, KernelId, LaunchSpec, ProfileReport, SimError,
+};
 
 /// Which implementation of a benchmark to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -26,6 +28,11 @@ pub enum Variant {
     BasicDp,
     /// Compiler-consolidated dynamic parallelism.
     Consolidated(Granularity),
+    /// Consolidation under an autotuned directive: the knobs come from
+    /// [`RunConfig::tuned`] (granularity and per-buffer capacity) together
+    /// with the session's `alloc`/`policy` fields, normally filled in by
+    /// `dpcons-tune` after a knob-space search.
+    ConsolidatedTuned,
 }
 
 impl Variant {
@@ -34,6 +41,7 @@ impl Variant {
             Variant::Flat => "no-dp".to_string(),
             Variant::BasicDp => "basic-dp".to_string(),
             Variant::Consolidated(g) => format!("{}-level", g.label()),
+            Variant::ConsolidatedTuned => "tuned".to_string(),
         }
     }
 
@@ -86,6 +94,18 @@ impl From<TransformError> for AppError {
     }
 }
 
+/// Directive knobs selected by an autotuner for [`Variant::ConsolidatedTuned`].
+/// The remaining knobs ride on the session config: the buffer mechanism
+/// follows [`RunConfig::alloc`] and the consolidated-kernel configuration
+/// follows [`RunConfig::policy`], exactly as for [`Variant::Consolidated`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TunedDirective {
+    pub granularity: Granularity,
+    /// Per-buffer capacity override in items; `None` keeps the app's
+    /// hand-written `perBufferSize`.
+    pub per_buffer_size: Option<u64>,
+}
+
 /// Execution configuration shared by all benchmarks.
 #[derive(Debug, Clone)]
 pub struct RunConfig {
@@ -98,6 +118,8 @@ pub struct RunConfig {
     pub threshold: i64,
     pub heap_words: u64,
     pub pool_words: u64,
+    /// Autotuned directive knobs; required by [`Variant::ConsolidatedTuned`].
+    pub tuned: Option<TunedDirective>,
 }
 
 impl Default for RunConfig {
@@ -109,6 +131,7 @@ impl Default for RunConfig {
             threshold: 4,
             heap_words: 1 << 26, // 512 MB, the paper's default pool size
             pool_words: 1 << 22,
+            tuned: None,
         }
     }
 }
@@ -150,8 +173,22 @@ impl VariantSession {
         let (module, cons) = match variant {
             Variant::Flat => (module_flat.clone(), None),
             Variant::BasicDp => (module_dp.clone(), None),
-            Variant::Consolidated(g) => {
-                let mut dir = directive(g);
+            Variant::Consolidated(_) | Variant::ConsolidatedTuned => {
+                let mut dir = match variant {
+                    Variant::Consolidated(g) => directive(g),
+                    _ => {
+                        let t = cfg.tuned.as_ref().ok_or_else(|| {
+                            AppError::Driver(
+                                "Variant::ConsolidatedTuned requires RunConfig.tuned".to_string(),
+                            )
+                        })?;
+                        let mut d = directive(t.granularity);
+                        if let Some(n) = t.per_buffer_size {
+                            d.per_buffer_size = Some(SizeSpec::Items(n));
+                        }
+                        d
+                    }
+                };
                 // The directive's buffer clause follows the session allocator
                 // so Fig. 5 can sweep allocators from RunConfig.
                 dir.buffer = match cfg.alloc {
@@ -226,12 +263,9 @@ impl VariantSession {
         args: &[i64],
         config: (u32, u32),
     ) -> Result<(), AppError> {
-        let id = *self
-            .ids
-            .get(name)
-            .ok_or_else(|| AppError::Driver(format!("no kernel `{name}`")))?;
-        let report =
-            self.engine.launch(LaunchSpec::new(id, config.0, config.1, args.to_vec()))?;
+        let id =
+            *self.ids.get(name).ok_or_else(|| AppError::Driver(format!("no kernel `{name}`")))?;
+        let report = self.engine.launch(LaunchSpec::new(id, config.0, config.1, args.to_vec()))?;
         self.total.merge(&report);
         Ok(())
     }
@@ -245,8 +279,19 @@ impl VariantSession {
     }
 }
 
+/// The static tuning surface of a benchmark: the annotated basic-dp module,
+/// the parent kernel the directive applies to, and the per-granularity base
+/// directive (the seed's hand-written pragma, carrying the `work` clause and
+/// any app-specific sizes). `dpcons-tune` uses this to enumerate and prune
+/// directive candidates without running anything.
+pub struct TuneModel {
+    pub module_dp: Module,
+    pub parent: &'static str,
+    pub directive: fn(Granularity) -> Directive,
+}
+
 /// Shared interface for the seven benchmarks.
-pub trait Benchmark {
+pub trait Benchmark: Send + Sync {
     fn name(&self) -> &'static str;
 
     /// Run one variant end to end.
@@ -254,6 +299,11 @@ pub trait Benchmark {
 
     /// The exact expected output (CPU oracle).
     fn reference(&self) -> Vec<i64>;
+
+    /// Static tuning model, when the app supports directive autotuning.
+    fn tune_model(&self) -> Option<TuneModel> {
+        None
+    }
 
     /// Run and check against the oracle; returns the profile on success.
     fn verify(&self, variant: Variant, cfg: &RunConfig) -> Result<ProfileReport, AppError> {

@@ -42,7 +42,10 @@ impl Spmv {
                         "acc",
                         add(
                             v("acc"),
-                            shr(mul(load(v("val"), v("e")), load(v("x"), load(v("col"), v("e")))), i(16)),
+                            shr(
+                                mul(load(v("val"), v("e")), load(v("x"), load(v("col"), v("e")))),
+                                i(16),
+                            ),
                         ),
                     ),
                 ],
@@ -101,7 +104,10 @@ impl Spmv {
                                 v("y"),
                                 v("u"),
                                 shr(
-                                    mul(load(v("val"), v("e")), load(v("x"), load(v("col"), v("e")))),
+                                    mul(
+                                        load(v("val"), v("e")),
+                                        load(v("x"), load(v("col"), v("e"))),
+                                    ),
                                     i(16),
                                 ),
                             ),
@@ -143,11 +149,8 @@ impl Spmv {
     }
 
     pub fn directive(g: Granularity) -> Directive {
-        Directive::parse(&format!(
-            "#pragma dp consldt({}) buffer(custom) work(u)",
-            g.label()
-        ))
-        .expect("static pragma parses")
+        Directive::parse(&format!("#pragma dp consldt({}) buffer(custom) work(u)", g.label()))
+            .expect("static pragma parses")
     }
 }
 
@@ -191,6 +194,14 @@ impl Benchmark for Spmv {
         Ok(s.finish(out, 1))
     }
 
+    fn tune_model(&self) -> Option<crate::runner::TuneModel> {
+        Some(crate::runner::TuneModel {
+            module_dp: Self::module_dp(),
+            parent: "spmv_parent",
+            directive: Self::directive,
+        })
+    }
+
     fn reference(&self) -> Vec<i64> {
         reference::spmv(&self.matrix, &self.x)
     }
@@ -212,8 +223,7 @@ mod tests {
         let a = app();
         let cfg = RunConfig { threshold: 16, ..Default::default() };
         for variant in Variant::ALL {
-            a.verify(variant, &cfg)
-                .unwrap_or_else(|e| panic!("{} failed: {e}", variant.label()));
+            a.verify(variant, &cfg).unwrap_or_else(|e| panic!("{} failed: {e}", variant.label()));
         }
     }
 

@@ -59,20 +59,14 @@ impl Sssp {
                         lt(v("u"), v("n")),
                         vec![
                             let_("du", load(v("dist"), v("u"))),
-                            when(
-                                lt(v("du"), i(INF)),
-                                {
-                                    let mut b = vec![
-                                        let_("first", load(v("row"), v("u"))),
-                                        let_(
-                                            "deg",
-                                            sub(load(v("row"), add(v("u"), i(1))), v("first")),
-                                        ),
-                                    ];
-                                    b.extend(Self::relax_loop_inline());
-                                    b
-                                },
-                            ),
+                            when(lt(v("du"), i(INF)), {
+                                let mut b = vec![
+                                    let_("first", load(v("row"), v("u"))),
+                                    let_("deg", sub(load(v("row"), add(v("u"), i(1))), v("first"))),
+                                ];
+                                b.extend(Self::relax_loop_inline());
+                                b
+                            }),
                         ],
                     ),
                 ]),
@@ -129,10 +123,7 @@ impl Sssp {
                             when(lt(v("du"), i(INF)), {
                                 let mut b = vec![
                                     let_("first", load(v("row"), v("u"))),
-                                    let_(
-                                        "deg",
-                                        sub(load(v("row"), add(v("u"), i(1))), v("first")),
-                                    ),
+                                    let_("deg", sub(load(v("row"), add(v("u"), i(1))), v("first"))),
                                 ];
                                 b.push(if_(
                                     gt(v("deg"), v("thr")),
@@ -161,11 +152,8 @@ impl Sssp {
     }
 
     pub fn directive(g: Granularity) -> Directive {
-        Directive::parse(&format!(
-            "#pragma dp consldt({}) buffer(custom) work(u)",
-            g.label()
-        ))
-        .expect("static pragma parses")
+        Directive::parse(&format!("#pragma dp consldt({}) buffer(custom) work(u)", g.label()))
+            .expect("static pragma parses")
     }
 }
 
@@ -225,6 +213,14 @@ impl Benchmark for Sssp {
         Ok(s.finish(out, iters))
     }
 
+    fn tune_model(&self) -> Option<crate::runner::TuneModel> {
+        Some(crate::runner::TuneModel {
+            module_dp: Self::module_dp(),
+            parent: "sssp_parent",
+            directive: Self::directive,
+        })
+    }
+
     fn reference(&self) -> Vec<i64> {
         reference::sssp(&self.graph, self.src)
     }
@@ -244,8 +240,7 @@ mod tests {
         let a = app();
         let cfg = RunConfig { threshold: 16, ..Default::default() };
         for variant in Variant::ALL {
-            a.verify(variant, &cfg)
-                .unwrap_or_else(|e| panic!("{} failed: {e}", variant.label()));
+            a.verify(variant, &cfg).unwrap_or_else(|e| panic!("{} failed: {e}", variant.label()));
         }
     }
 
@@ -265,8 +260,7 @@ mod tests {
         let a = Sssp::new(g, 0);
         let cfg = RunConfig { threshold: 4, ..Default::default() };
         for variant in Variant::ALL {
-            a.verify(variant, &cfg)
-                .unwrap_or_else(|e| panic!("{} failed: {e}", variant.label()));
+            a.verify(variant, &cfg).unwrap_or_else(|e| panic!("{} failed: {e}", variant.label()));
         }
     }
 }

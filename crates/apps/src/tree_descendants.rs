@@ -79,10 +79,7 @@ impl TreeDescendants {
                         vec![
                             let_("node", load(v("frontier"), add(i(1), v("t")))),
                             let_("first", load(v("childptr"), v("node"))),
-                            let_(
-                                "cnt",
-                                sub(load(v("childptr"), add(v("node"), i(1))), v("first")),
-                            ),
+                            let_("cnt", sub(load(v("childptr"), add(v("node"), i(1))), v("first"))),
                             for_(
                                 "j",
                                 i(0),
@@ -187,6 +184,14 @@ impl Benchmark for TreeDescendants {
         }
         let out = s.read(nd);
         Ok(s.finish(out, iters))
+    }
+
+    fn tune_model(&self) -> Option<crate::runner::TuneModel> {
+        Some(crate::runner::TuneModel {
+            module_dp: Self::module_dp(),
+            parent: "td_rec",
+            directive: Self::directive,
+        })
     }
 
     fn reference(&self) -> Vec<i64> {

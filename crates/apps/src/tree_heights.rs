@@ -95,10 +95,7 @@ impl TreeHeights {
                         vec![
                             let_("node", load(v("frontier"), add(i(1), v("t")))),
                             let_("first", load(v("childptr"), v("node"))),
-                            let_(
-                                "cnt",
-                                sub(load(v("childptr"), add(v("node"), i(1))), v("first")),
-                            ),
+                            let_("cnt", sub(load(v("childptr"), add(v("node"), i(1))), v("first"))),
                             for_(
                                 "j",
                                 i(0),
@@ -189,11 +186,7 @@ impl TreeHeights {
         let ch = s.alloc_array("children", t.children.clone());
         let height = s.alloc_array("height", vec![0]);
         let rootdeg = t.degree(t.root as usize).clamp(1, 256) as u32;
-        s.launch_entry(
-            "th_rec",
-            &[cp as i64, ch as i64, height as i64, t.root, 0],
-            (1, rootdeg),
-        )?;
+        s.launch_entry("th_rec", &[cp as i64, ch as i64, height as i64, t.root, 0], (1, rootdeg))?;
         Ok((s.read(height)[0], 1))
     }
 }
@@ -219,6 +212,14 @@ impl Benchmark for TreeHeights {
         Ok(s.finish(vec![h], iters))
     }
 
+    fn tune_model(&self) -> Option<crate::runner::TuneModel> {
+        Some(crate::runner::TuneModel {
+            module_dp: Self::module_dp(),
+            parent: "th_rec",
+            directive: Self::directive,
+        })
+    }
+
     fn reference(&self) -> Vec<i64> {
         vec![self.tree.height()]
     }
@@ -238,8 +239,7 @@ mod tests {
         let a = app();
         let cfg = RunConfig::default();
         for variant in Variant::ALL {
-            a.verify(variant, &cfg)
-                .unwrap_or_else(|e| panic!("{} failed: {e}", variant.label()));
+            a.verify(variant, &cfg).unwrap_or_else(|e| panic!("{} failed: {e}", variant.label()));
         }
     }
 

@@ -1,15 +1,29 @@
 //! Reproduce every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! reproduce [fig5] [fig6] [fig7] [fig8] [fig9] [fig10] [ablations] [verify] [all]
-//!           [--profile test|bench] [--markdown]
+//! reproduce [fig5] [fig6] [fig7] [fig8] [fig9] [fig10] [ablations] [verify]
+//!           [tune] [all] [--tune] [--profile test|bench] [--markdown]
+//!           [--json PATH]
 //! ```
 //!
-//! With no figure argument, everything runs. `--profile bench` (default) uses
-//! the scaled-dataset shapes described in DESIGN.md; `--profile test` runs a
-//! fast smoke pass. `--markdown` emits GitHub tables (used to build
-//! EXPERIMENTS.md).
+//! With no figure argument, everything except the tuning sweep runs.
+//! `--profile bench` (default) uses the scaled-dataset shapes described in
+//! DESIGN.md; `--profile test` runs a fast smoke pass. `--markdown` emits
+//! GitHub tables (used to build EXPERIMENTS.md).
+//!
+//! `--tune` (or the `tune` experiment name) additionally runs the
+//! `dpcons-tune` directive autotuner over all seven apps and reports
+//! tuned-vs-paper-default speedups. Tuning results are cached under
+//! `.dpcons-tune-cache/`, so a repeated `--tune` run hits the cache and
+//! reproduces the identical report.
+//!
+//! Whenever the overall sweep runs, the machine-readable record
+//! `BENCH_reproduce.json` (per-app cycles for flat / basic-dp / the three
+//! consolidated granularities / tuned) is written so future changes have a
+//! performance trajectory to compare against; `--json PATH` overrides the
+//! destination.
 
+use std::path::PathBuf;
 use std::time::Instant;
 
 use dpcons_apps::{Profile, RunConfig};
@@ -19,6 +33,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut profile = Profile::Bench;
     let mut markdown = false;
+    let mut json_path = PathBuf::from("BENCH_reproduce.json");
+    let mut want_tune = false;
     let mut figs: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -32,14 +48,35 @@ fn main() {
                 }
             },
             "--markdown" => markdown = true,
+            "--json" => match it.next() {
+                Some(p) => json_path = PathBuf::from(p),
+                None => {
+                    eprintln!("--json needs a path");
+                    std::process::exit(2);
+                }
+            },
+            "--tune" => want_tune = true,
             f => figs.push(f.to_string()),
         }
     }
     if figs.is_empty() || figs.iter().any(|f| f == "all") {
-        figs = ["verify", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "headline", "ablations"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        let mut all: Vec<String> =
+            ["verify", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "headline", "ablations"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+        // Explicitly-requested experiments are kept.
+        for f in figs {
+            if !all.contains(&f) {
+                all.push(f);
+            }
+        }
+        figs = all;
+    }
+    // `--tune` runs the sweep *in addition to* whatever was selected;
+    // `tune` as an experiment name selects only the sweep.
+    if want_tune && !figs.iter().any(|f| f == "tune") {
+        figs.push("tune".to_string());
     }
 
     let cfg = RunConfig::default();
@@ -56,10 +93,11 @@ fn main() {
         profile, cfg.gpu.name, cfg.threshold
     );
 
-    // Figures 7-10 share one profiled sweep.
+    // Figures 7-10, the tuning comparison, and the JSON record share one
+    // profiled sweep.
     let needs_matrix = figs
         .iter()
-        .any(|f| matches!(f.as_str(), "fig7" | "fig8" | "fig9" | "fig10" | "headline"));
+        .any(|f| matches!(f.as_str(), "fig7" | "fig8" | "fig9" | "fig10" | "headline" | "tune"));
     let matrix = if needs_matrix {
         let t0 = Instant::now();
         let m = overall_matrix(profile, &cfg);
@@ -69,6 +107,7 @@ fn main() {
         None
     };
 
+    let mut tuned: Option<Vec<(String, TuneReport)>> = None;
     for f in &figs {
         let t0 = Instant::now();
         match f.as_str() {
@@ -88,6 +127,11 @@ fn main() {
             "fig9" => emit(&fig9_occupancy(matrix.as_ref().expect("matrix"))),
             "fig10" => emit(&fig10_dram(matrix.as_ref().expect("matrix"))),
             "headline" => emit(&headline_claims(matrix.as_ref().expect("matrix"))),
+            "tune" => {
+                let results = tune_all(profile, &cfg, Some(PathBuf::from(".dpcons-tune-cache")));
+                emit(&tuned_table(matrix.as_ref().expect("matrix"), &results));
+                tuned = Some(results);
+            }
             "ablations" => {
                 emit(&ablation_pool_capacity(profile, &cfg));
                 emit(&ablation_threshold(profile, &cfg));
@@ -98,5 +142,12 @@ fn main() {
             }
         }
         eprintln!("[{f} finished in {:.1}s]", t0.elapsed().as_secs_f64());
+    }
+
+    if let Some(matrix) = &matrix {
+        match write_reproduce_json(&json_path, profile, &cfg, matrix, tuned.as_deref()) {
+            Ok(()) => eprintln!("[wrote {}]", json_path.display()),
+            Err(e) => eprintln!("[failed to write {}: {e}]", json_path.display()),
+        }
     }
 }

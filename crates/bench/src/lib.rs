@@ -10,49 +10,25 @@
 //!   Figures 7–10 (shared, since they profile the same runs),
 //! * ablations beyond the paper (pending-pool capacity, threshold sweep).
 //!
-//! Independent simulations are fanned out over worker threads with
-//! `crossbeam` (each simulation itself stays deterministic and
-//! single-threaded).
+//! Independent simulations are fanned out over scoped worker threads
+//! ([`dpcons_tune::par::parallel_map`]; each simulation itself stays
+//! deterministic and single-threaded).
 
 use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
 
 use dpcons_apps::{all_benchmarks, AppOutcome, Profile, RunConfig, Variant};
-use dpcons_core::{ConfigPolicy, Granularity};
+use dpcons_core::{ConfigPolicy, Granularity, KnobSpace};
 use dpcons_sim::AllocKind;
-use parking_lot::Mutex;
+use dpcons_tune::{tune, Budget, Cache, TuneOptions};
 
+pub mod json;
 pub mod tables;
 
+pub use dpcons_tune::par::parallel_map;
+pub use dpcons_tune::TuneReport;
+pub use json::Json;
 pub use tables::Table;
-
-/// Run `jobs` closures on up to `available_parallelism` crossbeam scoped
-/// threads, preserving result order.
-pub fn parallel_map<T, F>(jobs: Vec<F>) -> Vec<T>
-where
-    T: Send,
-    F: FnOnce() -> T + Send,
-{
-    let n = jobs.len();
-    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n.max(1));
-    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
-    let queue: Mutex<Vec<(usize, F)>> = Mutex::new(jobs.into_iter().enumerate().rev().collect());
-    crossbeam::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|_| loop {
-                let job = queue.lock().pop();
-                match job {
-                    Some((idx, f)) => {
-                        let r = f();
-                        results.lock()[idx] = Some(r);
-                    }
-                    None => break,
-                }
-            });
-        }
-    })
-    .expect("worker panicked");
-    results.into_inner().into_iter().map(|r| r.expect("job ran")).collect()
-}
 
 /// Profiled outcomes of every variant of one benchmark.
 pub struct AppResults {
@@ -157,8 +133,7 @@ pub fn fig5_allocators(profile: Profile, cfg: &RunConfig) -> Table {
     for g in Granularity::ALL {
         let mut row = vec![format!("{}-level", g.label())];
         for a in allocators {
-            let cycles =
-                results.iter().find(|(rg, ra, _)| *rg == g && *ra == a).expect("ran").2;
+            let cycles = results.iter().find(|(rg, ra, _)| *rg == g && *ra == a).expect("ran").2;
             row.push(format!("{:.1}x", basic as f64 / cycles as f64));
         }
         t.row(row);
@@ -326,8 +301,7 @@ pub fn fig9_occupancy(matrix: &[AppResults]) -> Table {
         vec!["app", "basic-dp", "warp-level", "block-level", "grid-level"],
     );
     for app in matrix {
-        let cell =
-            |v: Variant| format!("{:.1}%", app.get(v).report.achieved_occupancy * 100.0);
+        let cell = |v: Variant| format!("{:.1}%", app.get(v).report.achieved_occupancy * 100.0);
         t.row(vec![
             app.name.to_string(),
             cell(Variant::BasicDp),
@@ -382,8 +356,7 @@ pub fn headline_claims(matrix: &[AppResults]) -> Table {
         .iter()
         .map(|a| {
             a.get(Variant::Flat).report.total_cycles as f64
-                / a.get(Variant::Consolidated(Granularity::Grid)).report.total_cycles.max(1)
-                    as f64
+                / a.get(Variant::Consolidated(Granularity::Grid)).report.total_cycles.max(1) as f64
         })
         .collect();
     let minmax = |v: &[f64]| {
@@ -396,16 +369,8 @@ pub fn headline_claims(matrix: &[AppResults]) -> Table {
         "90x - 3300x".into(),
         minmax(&all_cons),
     ]);
-    t.row(vec![
-        "grid-level speedup over basic-dp".into(),
-        "up to 3300x".into(),
-        minmax(&grids),
-    ]);
-    t.row(vec![
-        "basic-dp slowdown vs flat".into(),
-        "80x - 1100x".into(),
-        minmax(&flats),
-    ]);
+    t.row(vec!["grid-level speedup over basic-dp".into(), "up to 3300x".into(), minmax(&grids)]);
+    t.row(vec!["basic-dp slowdown vs flat".into(), "80x - 1100x".into(), minmax(&flats)]);
     t.row(vec![
         "grid-level speedup over flat".into(),
         "2x - 6x (avg 3.78x)".into(),
@@ -445,8 +410,7 @@ pub fn ablation_pool_capacity(profile: Profile, cfg: &RunConfig) -> Table {
             cfg.gpu.fixed_pool_capacity = c;
             move || {
                 let g = dpcons_apps::datasets::citeseer(profile);
-                let out =
-                    PageRank::new(g, 3).run(Variant::BasicDp, &cfg).expect("basic-dp runs");
+                let out = PageRank::new(g, 3).run(Variant::BasicDp, &cfg).expect("basic-dp runs");
                 (c, out.report.total_cycles, out.report.virtual_pool_kernels)
             }
         })
@@ -487,6 +451,158 @@ pub fn ablation_threshold(profile: Profile, cfg: &RunConfig) -> Table {
     t
 }
 
+// ------------------------------------------------------------- Autotune --
+
+/// Run the directive autotuner over all seven benchmarks (quick knob space,
+/// budgeted). `cache_dir` persists results across `reproduce` invocations so
+/// a repeated `--tune` run is O(1) and reproduces the identical report.
+pub fn tune_all(
+    profile: Profile,
+    cfg: &RunConfig,
+    cache_dir: Option<PathBuf>,
+) -> Vec<(String, TuneReport)> {
+    let apps = all_benchmarks(profile);
+    apps.iter()
+        .map(|app| {
+            let opts = TuneOptions {
+                base: cfg.clone(),
+                space: KnobSpace::quick(cfg.gpu.num_sms),
+                budget: Budget { max_evals: Some(48), patience: Some(3) },
+                with_baselines: true,
+                cache: Some(Cache::new(cache_dir.clone())),
+            };
+            let report = tune(app.as_ref(), &opts).expect("the seven apps expose tune models");
+            (app.name().to_string(), report)
+        })
+        .collect()
+}
+
+/// Tuned-vs-paper-default summary: how the autotuned directive compares to
+/// the hand-written per-granularity defaults from the overall matrix.
+pub fn tuned_table(matrix: &[AppResults], tuned: &[(String, TuneReport)]) -> Table {
+    let mut t = Table::new(
+        "Autotuned directives (quick space) vs paper defaults",
+        vec![
+            "app",
+            "best knobs",
+            "cycles",
+            "vs grid-default",
+            "vs best-default",
+            "evaluated",
+            "cache",
+        ],
+    );
+    for (name, report) in tuned {
+        let app = matrix.iter().find(|a| a.name == name).expect("matrix covers all apps");
+        let best = report.best_cycles();
+        let grid = app.get(Variant::Consolidated(Granularity::Grid)).report.total_cycles;
+        let best_default = Granularity::ALL
+            .iter()
+            .map(|&g| app.get(Variant::Consolidated(g)).report.total_cycles)
+            .min()
+            .expect("three granularities");
+        let (cycles_s, vs_grid, vs_best) = match best {
+            Some(c) => (
+                c.to_string(),
+                format!("{:.2}x", grid as f64 / c as f64),
+                format!("{:.2}x", best_default as f64 / c as f64),
+            ),
+            None => ("-".into(), "-".into(), "-".into()),
+        };
+        t.row(vec![
+            name.clone(),
+            report.best_knobs().map(|k| k.label()).unwrap_or_else(|| "-".into()),
+            cycles_s,
+            vs_grid,
+            vs_best,
+            format!("{}/{}", report.evaluated, report.candidates.len()),
+            if report.from_cache { "hit" } else { "miss" }.into(),
+        ]);
+    }
+    t.note("cycles: full app run under the tuned directive; defaults come from the overall sweep");
+    t
+}
+
+/// Assemble the machine-readable reproduction record
+/// (`BENCH_reproduce.json`): per-app cycles for flat / basic-dp / the three
+/// consolidated granularities, plus the tuned result when a sweep ran.
+pub fn reproduce_json(
+    profile: Profile,
+    cfg: &RunConfig,
+    matrix: &[AppResults],
+    tuned: Option<&[(String, TuneReport)]>,
+) -> Json {
+    let apps: Vec<Json> = matrix
+        .iter()
+        .map(|app| {
+            let mut cycles: Vec<(String, Json)> = Variant::ALL
+                .iter()
+                .map(|v| (v.label(), Json::U64(app.get(*v).report.total_cycles)))
+                .collect();
+            let mut fields = vec![("name".to_string(), Json::s(app.name))];
+            let tuned_report =
+                tuned.and_then(|t| t.iter().find(|(n, _)| n == app.name)).map(|(_, r)| r);
+            if let Some(r) = tuned_report {
+                cycles.push(("tuned".into(), r.best_cycles().map(Json::U64).unwrap_or(Json::Null)));
+            }
+            fields.push(("cycles".into(), Json::Obj(cycles)));
+            if let Some(r) = tuned_report {
+                let best_default = Granularity::ALL
+                    .iter()
+                    .map(|&g| app.get(Variant::Consolidated(g)).report.total_cycles)
+                    .min()
+                    .unwrap_or(0);
+                fields.push((
+                    "tuned_detail".into(),
+                    Json::Obj(vec![
+                        (
+                            "knobs".into(),
+                            r.best_knobs().map(|k| Json::s(k.label())).unwrap_or(Json::Null),
+                        ),
+                        (
+                            "speedup_over_best_default".into(),
+                            match r.best_cycles() {
+                                Some(c) if c > 0 => Json::F64(best_default as f64 / c as f64),
+                                _ => Json::Null,
+                            },
+                        ),
+                        ("evaluated".into(), Json::U64(r.evaluated as u64)),
+                        ("pruned".into(), Json::U64(r.pruned as u64)),
+                        ("skipped".into(), Json::U64(r.skipped as u64)),
+                        ("collapsed".into(), Json::U64(r.collapsed as u64)),
+                        ("cache_hit".into(), Json::Bool(r.from_cache)),
+                    ]),
+                ));
+            }
+            Json::Obj(fields)
+        })
+        .collect();
+    Json::Obj(vec![
+        ("schema".into(), Json::s("dpcons-bench-reproduce-v1")),
+        (
+            "profile".into(),
+            Json::s(match profile {
+                Profile::Test => "test",
+                Profile::Bench => "bench",
+            }),
+        ),
+        ("gpu".into(), Json::s(cfg.gpu.name.clone())),
+        ("threshold".into(), Json::U64(cfg.threshold as u64)),
+        ("apps".into(), Json::Arr(apps)),
+    ])
+}
+
+/// Write the reproduction record to disk.
+pub fn write_reproduce_json(
+    path: &Path,
+    profile: Profile,
+    cfg: &RunConfig,
+    matrix: &[AppResults],
+    tuned: Option<&[(String, TuneReport)]>,
+) -> std::io::Result<()> {
+    std::fs::write(path, reproduce_json(profile, cfg, matrix, tuned).render())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -496,5 +612,20 @@ mod tests {
         let jobs: Vec<_> = (0..32).map(|i| move || i * 2).collect();
         let out = parallel_map(jobs);
         assert_eq!(out, (0..32).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reproduce_json_has_all_variants_per_app() {
+        let cfg = RunConfig::default();
+        let matrix = overall_matrix(Profile::Test, &cfg);
+        let j = reproduce_json(Profile::Test, &cfg, &matrix, None);
+        let text = j.render();
+        for app in ["SSSP", "SpMV", "PageRank"] {
+            assert!(text.contains(&format!("\"name\": \"{app}\"")), "{app} missing");
+        }
+        for v in Variant::ALL {
+            assert!(text.contains(&format!("\"{}\"", v.label())), "{} missing", v.label());
+        }
+        assert!(text.contains("dpcons-bench-reproduce-v1"));
     }
 }

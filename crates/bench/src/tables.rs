@@ -37,11 +37,7 @@ impl Table {
                 widths[c] = widths[c].max(cell.len());
             }
         }
-        let sep: String = widths
-            .iter()
-            .map(|w| "-".repeat(w + 2))
-            .collect::<Vec<_>>()
-            .join("+");
+        let sep: String = widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+");
         let fmt_row = |cells: &[String]| -> String {
             (0..ncols)
                 .map(|c| format!(" {:<width$} ", cells[c], width = widths[c]))
@@ -69,7 +65,10 @@ impl Table {
         let mut out = String::new();
         out.push_str(&format!("### {}\n\n", self.title));
         out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
-        out.push_str(&format!("|{}|\n", self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")));
+        out.push_str(&format!(
+            "|{}|\n",
+            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        ));
         for r in &self.rows {
             out.push_str(&format!("| {} |\n", r.join(" | ")));
         }

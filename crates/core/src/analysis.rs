@@ -294,13 +294,10 @@ pub fn analyze(
             })
         }
     }
-    let Stmt::Launch { kernel: target, grid, block, args } = launches[0] else {
-        unreachable!()
-    };
+    let Stmt::Launch { kernel: target, grid, block, args } = launches[0] else { unreachable!() };
 
-    let child = module
-        .get(target)
-        .ok_or_else(|| TransformError::UnknownKernel { name: target.clone() })?;
+    let child =
+        module.get(target).ok_or_else(|| TransformError::UnknownKernel { name: target.clone() })?;
     let recursive = target == parent_name;
 
     // Only direct recursion may nest further launches.
@@ -404,35 +401,28 @@ mod tests {
     fn sample_module() -> Module {
         let mut m = Module::new();
         // Child: solo-block cooperative worker.
-        m.add(
-            KernelBuilder::new("child")
-                .array("data")
-                .scalar("item")
-                .body(vec![for_step(
-                    "j",
-                    tid(),
-                    load(v("data"), v("item")),
-                    ntid(),
-                    vec![compute(i(1))],
-                )]),
-        );
+        m.add(KernelBuilder::new("child").array("data").scalar("item").body(vec![for_step(
+            "j",
+            tid(),
+            load(v("data"), v("item")),
+            ntid(),
+            vec![compute(i(1))],
+        )]));
         // Parent: basic-dp template.
-        m.add(
-            KernelBuilder::new("parent").array("data").scalar("n").scalar("thr").body(vec![
-                let_("id", gtid()),
-                when(
-                    lt(v("id"), v("n")),
-                    vec![
-                        let_("deg", load(v("data"), v("id"))),
-                        if_(
-                            gt(v("deg"), v("thr")),
-                            vec![launch("child", i(1), i(128), vec![v("data"), v("id")])],
-                            vec![compute(v("deg"))],
-                        ),
-                    ],
-                ),
-            ]),
-        );
+        m.add(KernelBuilder::new("parent").array("data").scalar("n").scalar("thr").body(vec![
+            let_("id", gtid()),
+            when(
+                lt(v("id"), v("n")),
+                vec![
+                    let_("deg", load(v("data"), v("id"))),
+                    if_(
+                        gt(v("deg"), v("thr")),
+                        vec![launch("child", i(1), i(128), vec![v("data"), v("id")])],
+                        vec![compute(v("deg"))],
+                    ),
+                ],
+            ),
+        ]));
         m
     }
 
@@ -488,19 +478,18 @@ mod tests {
         let mut m = Module::new();
         m.add(KernelBuilder::new("flat").body(vec![compute(i(1))]));
         let d = Directive::parse("dp consldt(warp) work(x)").unwrap();
-        assert!(matches!(
-            analyze(&m, "flat", &d).unwrap_err(),
-            TransformError::NoLaunch { .. }
-        ));
+        assert!(matches!(analyze(&m, "flat", &d).unwrap_err(), TransformError::NoLaunch { .. }));
     }
 
     #[test]
     fn multiple_launches_rejected() {
         let mut m = sample_module();
-        m.get_mut("parent")
-            .unwrap()
-            .body
-            .push(launch("child", i(1), i(32), vec![v("data"), v("n")]));
+        m.get_mut("parent").unwrap().body.push(launch(
+            "child",
+            i(1),
+            i(32),
+            vec![v("data"), v("n")],
+        ));
         let d = Directive::parse("dp consldt(block) work(id)").unwrap();
         assert!(matches!(
             analyze(&m, "parent", &d).unwrap_err(),

@@ -86,6 +86,74 @@ impl Directive {
         Parser::new(text).parse()
     }
 
+    // ---------------------------------------------------- tuning knobs --
+
+    /// Replace the consolidation granularity.
+    pub fn with_granularity(mut self, g: Granularity) -> Self {
+        self.granularity = g;
+        self
+    }
+
+    /// Replace the buffer allocation mechanism.
+    pub fn with_buffer(mut self, b: BufferKind) -> Self {
+        self.buffer = b;
+        self
+    }
+
+    /// Override the per-buffer capacity (`None` keeps the directive's own).
+    pub fn with_per_buffer_size(mut self, items: Option<u64>) -> Self {
+        if let Some(n) = items {
+            self.per_buffer_size = Some(SizeSpec::Items(n));
+        }
+        self
+    }
+
+    /// Override the consolidated kernel's `(blocks, threads)` clauses
+    /// (`None` leaves configuration to the active [`crate::ConfigPolicy`]).
+    pub fn with_config(mut self, config: Option<(u32, u32)>) -> Self {
+        match config {
+            Some((b, t)) => {
+                self.blocks = Some(b);
+                self.threads = Some(t);
+            }
+            None => {
+                self.blocks = None;
+                self.threads = None;
+            }
+        }
+        self
+    }
+
+    /// Enumerate every tuning-knob variation of this directive over `space`
+    /// (Section IV.D: the pragma's clauses *are* the tuning surface). The
+    /// directive's `work` clause and any `totalSize` are preserved; each
+    /// returned directive differs only in granularity, buffer kind,
+    /// `perBufferSize`, and the `blocks`/`threads` configuration clauses.
+    /// Degenerate configurations (`blocks == 0` or `threads == 0`) are
+    /// silently skipped. Order is deterministic (row-major over the space).
+    pub fn enumerate(&self, space: &KnobSpace) -> Vec<Directive> {
+        let mut out = Vec::with_capacity(space.len());
+        for &g in &space.granularities {
+            for &b in &space.buffers {
+                for &pbs in &space.per_buffer_sizes {
+                    for &cfg in &space.configs {
+                        if matches!(cfg, Some((bl, t)) if bl == 0 || t == 0) {
+                            continue;
+                        }
+                        out.push(
+                            self.clone()
+                                .with_granularity(g)
+                                .with_buffer(b)
+                                .with_per_buffer_size(pbs)
+                                .with_config(cfg),
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+
     /// Render back to pragma text (round-trip tested).
     pub fn to_pragma(&self) -> String {
         let mut s = format!("#pragma dp consldt({})", self.granularity.label());
@@ -113,6 +181,74 @@ impl Directive {
             s.push_str(&format!(" blocks({b})"));
         }
         s
+    }
+}
+
+/// The grid of directive tuning knobs an autotuner sweeps: the cartesian
+/// product of consolidation granularity, buffer mechanism, per-buffer
+/// capacity, and consolidated-kernel `(blocks, threads)` configuration.
+/// `None` entries mean "keep the base directive's / policy's choice".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KnobSpace {
+    pub granularities: Vec<Granularity>,
+    pub buffers: Vec<BufferKind>,
+    pub per_buffer_sizes: Vec<Option<u64>>,
+    pub configs: Vec<Option<(u32, u32)>>,
+}
+
+impl KnobSpace {
+    /// Only the paper's hand-written defaults: one candidate per granularity.
+    pub fn defaults_only() -> KnobSpace {
+        KnobSpace {
+            granularities: Granularity::ALL.to_vec(),
+            buffers: vec![BufferKind::Custom],
+            per_buffer_sizes: vec![None],
+            configs: vec![None],
+        }
+    }
+
+    /// A modest sweep suitable for CI and interactive use: all granularities
+    /// and allocators, two buffer capacities, and a handful of configurations
+    /// scaled to the device's SM count.
+    pub fn quick(sms: u32) -> KnobSpace {
+        KnobSpace {
+            granularities: Granularity::ALL.to_vec(),
+            buffers: vec![BufferKind::Custom, BufferKind::Halloc, BufferKind::Default],
+            per_buffer_sizes: vec![None, Some(128)],
+            configs: vec![None, Some((sms, 64)), Some((sms, 256)), Some((4 * sms, 256))],
+        }
+    }
+
+    /// The full Figs. 5–6-style ablation grid.
+    pub fn paper(sms: u32) -> KnobSpace {
+        KnobSpace {
+            granularities: Granularity::ALL.to_vec(),
+            buffers: vec![BufferKind::Custom, BufferKind::Halloc, BufferKind::Default],
+            per_buffer_sizes: vec![None, Some(64), Some(256), Some(1024)],
+            configs: vec![
+                None,
+                Some((1, 64)),
+                Some((1, 256)),
+                Some((sms, 64)),
+                Some((sms, 128)),
+                Some((sms, 256)),
+                Some((2 * sms, 128)),
+                Some((4 * sms, 256)),
+                Some((8 * sms, 256)),
+            ],
+        }
+    }
+
+    /// Upper bound on the number of enumerated candidates.
+    pub fn len(&self) -> usize {
+        self.granularities.len()
+            * self.buffers.len()
+            * self.per_buffer_sizes.len()
+            * self.configs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -365,5 +501,57 @@ mod tests {
     #[test]
     fn empty_work_rejected() {
         assert!(Directive::parse("dp consldt(warp) work()").is_err());
+    }
+
+    #[test]
+    fn enumerate_covers_the_knob_grid_and_preserves_work() {
+        let base = Directive::parse(
+            "dp consldt(block) buffer(custom, perBufferSize: 64, totalSize: 4096) work(a, b)",
+        )
+        .unwrap();
+        let space = KnobSpace {
+            granularities: vec![Granularity::Warp, Granularity::Grid],
+            buffers: vec![BufferKind::Custom, BufferKind::Halloc],
+            per_buffer_sizes: vec![None, Some(256)],
+            configs: vec![None, Some((13, 128))],
+        };
+        let cands = base.enumerate(&space);
+        assert_eq!(cands.len(), space.len());
+        assert_eq!(cands.len(), 16);
+        for c in &cands {
+            assert_eq!(c.work, base.work, "work clause is not a tuning knob");
+            assert_eq!(c.total_size, base.total_size);
+        }
+        // None per-buffer-size keeps the base's 64; Some overrides.
+        assert!(cands.iter().any(|c| c.per_buffer_size == Some(SizeSpec::Items(64))));
+        assert!(cands.iter().any(|c| c.per_buffer_size == Some(SizeSpec::Items(256))));
+        // Config knob sets both clauses or clears both.
+        assert!(cands.iter().any(|c| c.blocks == Some(13) && c.threads == Some(128)));
+        assert!(cands.iter().any(|c| c.blocks.is_none() && c.threads.is_none()));
+        // Deterministic order.
+        assert_eq!(cands, base.enumerate(&space));
+    }
+
+    #[test]
+    fn enumerate_skips_degenerate_configs() {
+        let base = Directive::new(Granularity::Warp, &["x"]);
+        let space = KnobSpace {
+            granularities: vec![Granularity::Warp],
+            buffers: vec![BufferKind::Custom],
+            per_buffer_sizes: vec![None],
+            configs: vec![Some((0, 128)), Some((4, 0)), Some((4, 128))],
+        };
+        let cands = base.enumerate(&space);
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].blocks, Some(4));
+    }
+
+    #[test]
+    fn enumerated_candidates_roundtrip_through_pragma_text() {
+        let base = Directive::parse("dp consldt(warp) buffer(custom) work(u)").unwrap();
+        for c in base.enumerate(&KnobSpace::quick(13)) {
+            let reparsed = Directive::parse(&c.to_pragma()).unwrap();
+            assert_eq!(c, reparsed);
+        }
     }
 }

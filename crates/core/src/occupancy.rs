@@ -32,16 +32,9 @@ pub fn max_blocks_per_sm(gpu: &GpuConfig, threads_per_block: u32, res: KernelRes
     let threads = threads_per_block.div_ceil(gpu.warp_size) * gpu.warp_size;
     let by_blocks = gpu.max_blocks_per_sm;
     let by_threads = gpu.max_threads_per_sm / threads;
-    let by_regs = if res.regs_per_thread == 0 {
-        u32::MAX
-    } else {
-        gpu.registers_per_sm / (res.regs_per_thread * threads)
-    };
-    let by_shared = if res.shared_bytes == 0 {
-        u32::MAX
-    } else {
-        gpu.shared_mem_per_sm / res.shared_bytes
-    };
+    let by_regs =
+        gpu.registers_per_sm.checked_div(res.regs_per_thread * threads).unwrap_or(u32::MAX);
+    let by_shared = gpu.shared_mem_per_sm.checked_div(res.shared_bytes).unwrap_or(u32::MAX);
     by_blocks.min(by_threads).min(by_regs).min(by_shared)
 }
 

@@ -78,10 +78,8 @@ pub fn prepare_launch(
 
     // Recursion: seed the level-0 buffer with one work item taken from the
     // original host arguments at the buffered positions.
-    let seed_items: Vec<i64> =
-        info.buffered_positions.iter().map(|&p| original_args[p]).collect();
-    let mut args: Vec<i64> =
-        info.passthrough_positions.iter().map(|&p| original_args[p]).collect();
+    let seed_items: Vec<i64> = info.buffered_positions.iter().map(|&p| original_args[p]).collect();
+    let mut args: Vec<i64> = info.passthrough_positions.iter().map(|&p| original_args[p]).collect();
 
     let (grid, block) = entry_config(info, 1);
 

@@ -83,10 +83,7 @@ const GRID_LEVELS: i64 = 25;
 /// sequential-warp memory model, in which earlier warps' buffer insertions
 /// complete before the last warp runs.
 fn last_warp_leader() -> Expr {
-    land(
-        eq(rem(tid(), i(WARP)), i(0)),
-        eq(div(tid(), i(WARP)), div(sub(ntid(), i(1)), i(WARP))),
-    )
+    land(eq(rem(tid(), i(WARP)), i(0)), eq(div(tid(), i(WARP)), div(sub(ntid(), i(1)), i(WARP))))
 }
 
 /// Apply the workload-consolidation transformation to `parent_name` in
@@ -208,11 +205,7 @@ impl<'a> Ctx<'a> {
         let mut out = vec![atomic_add(Some("__cons_slot"), v(buf), v(off), i(1))];
         for (j, &pos) in self.launch().buffered.iter().enumerate() {
             let item_base = add(add(v(off), i(1)), mul(v("__cons_slot"), i(nv)));
-            out.push(store(
-                v(buf),
-                add(item_base, i(j as i64)),
-                self.launch().args[pos].clone(),
-            ));
+            out.push(store(v(buf), add(item_base, i(j as i64)), self.launch().args[pos].clone()));
         }
         out
     }
@@ -292,10 +285,8 @@ impl<'a> Ctx<'a> {
         let nv = self.nv() as i64;
         let mut item_prologue = Vec::new();
         for (j, &pos) in launch.buffered.iter().enumerate() {
-            let idx = add(
-                add(v("__cons_off"), i(1)),
-                add(mul(v("__cons_item"), i(nv)), i(j as i64)),
-            );
+            let idx =
+                add(add(v("__cons_off"), i(1)), add(mul(v("__cons_item"), i(nv)), i(j as i64)));
             item_prologue.push(let_(&child.params[pos].name, load(v("__cons_buf"), idx)));
         }
 
@@ -390,9 +381,7 @@ impl<'a> Ctx<'a> {
             }
             Granularity::Grid => {
                 parent.params.push(Param { name: "__cons_pool".into(), kind: ParamKind::Array });
-                parent
-                    .params
-                    .push(Param { name: "__cons_counter".into(), kind: ParamKind::Array });
+                parent.params.push(Param { name: "__cons_counter".into(), kind: ParamKind::Array });
                 grid_extras = Some(GridExtras {
                     pool_param: "__cons_pool".into(),
                     counter_param: "__cons_counter".into(),
@@ -530,10 +519,7 @@ impl<'a> Ctx<'a> {
                 prologue.push(let_("__cons_buf", v("__cons_pool")));
                 prologue.push(let_("__cons_off", mul(v("__cons_level"), i(stride))));
                 prologue.push(let_("__cons_nbuf", v("__cons_pool")));
-                prologue.push(let_(
-                    "__cons_noff",
-                    mul(add(v("__cons_level"), i(1)), i(stride)),
-                ));
+                prologue.push(let_("__cons_noff", mul(add(v("__cons_level"), i(1)), i(stride))));
             }
             Granularity::Warp => {
                 k.params.push(Param { name: "__cons_buf".into(), kind: ParamKind::Array });
@@ -573,10 +559,8 @@ impl<'a> Ctx<'a> {
         let nv = self.nv() as i64;
         let mut item_prologue = Vec::new();
         for (j, &pos) in launch_info.buffered.iter().enumerate() {
-            let idx = add(
-                add(v("__cons_off"), i(1)),
-                add(mul(v("__cons_item"), i(nv)), i(j as i64)),
-            );
+            let idx =
+                add(add(v("__cons_off"), i(1)), add(mul(v("__cons_item"), i(nv)), i(j as i64)));
             item_prologue.push(let_(&self.child.params[pos].name, load(v("__cons_buf"), idx)));
         }
         let fetch = self.fetch_loop(item_prologue, body);
@@ -603,11 +587,7 @@ impl<'a> Ctx<'a> {
                 do_launch.push(when(
                     gt(v("__cons_ncnt"), i(0)),
                     vec![
-                        store(
-                            v("__cons_counter"),
-                            add(v("__cons_level"), i(1)),
-                            grid_e.clone(),
-                        ),
+                        store(v("__cons_counter"), add(v("__cons_level"), i(1)), grid_e.clone()),
                         launch(&name, grid_e, block_e, next_args),
                     ],
                 ));
@@ -768,11 +748,7 @@ pub fn prework_slice(prework: &[Stmt], postwork: &[Stmt]) -> Vec<Stmt> {
             break;
         }
     }
-    candidates
-        .into_iter()
-        .zip(keep)
-        .filter_map(|(s, k)| if k { Some(s) } else { None })
-        .collect()
+    candidates.into_iter().zip(keep).filter_map(|(s, k)| if k { Some(s) } else { None }).collect()
 }
 
 /// In postwork kept in the parent (warp/block level), a bare

@@ -14,6 +14,7 @@ use dpcons_sim::{AllocKind, Engine, GpuConfig, LaunchSpec};
 
 const POOL: u64 = 1 << 20;
 
+#[allow(clippy::too_many_arguments)] // test harness: mirrors the host-launch surface
 fn run_consolidated(
     module: &Module,
     parent: &str,
@@ -27,8 +28,7 @@ fn run_consolidated(
     let dir = Directive::parse(pragma).unwrap();
     let cons = consolidate(module, parent, &dir, &GpuConfig::k20c(), policy).unwrap();
     let mut e = Engine::new(GpuConfig::k20c(), alloc, 1 << 22);
-    let handles: Vec<_> =
-        arrays.into_iter().map(|(n, d)| e.mem.alloc_array_init(n, d)).collect();
+    let handles: Vec<_> = arrays.into_iter().map(|(n, d)| e.mem.alloc_array_init(n, d)).collect();
     let ids: HashMap<_, _> = install(&mut e, &cons.module).unwrap();
     let mut args: Vec<i64> = handles.iter().map(|&h| h as i64).collect();
     args.extend(scalars);
@@ -47,8 +47,7 @@ fn run_basic(
     config: (u32, u32),
 ) -> Vec<Vec<i64>> {
     let mut e = Engine::new(GpuConfig::k20c(), AllocKind::PreAlloc, 1 << 22);
-    let handles: Vec<_> =
-        arrays.into_iter().map(|(n, d)| e.mem.alloc_array_init(n, d)).collect();
+    let handles: Vec<_> = arrays.into_iter().map(|(n, d)| e.mem.alloc_array_init(n, d)).collect();
     let ids = install(&mut e, module).unwrap();
     let mut args: Vec<i64> = handles.iter().map(|&h| h as i64).collect();
     args.extend(scalars);
@@ -65,42 +64,34 @@ fn run_basic(
 /// loop.
 fn solo_thread_module() -> Module {
     let mut m = Module::new();
-    m.add(
-        KernelBuilder::new("serial_child").array("vals").array("out").scalar("item").body(vec![
-            let_("acc", i(0)),
-            for_("j", i(0), load(v("vals"), v("item")), vec![assign(
-                "acc",
-                add(v("acc"), add(v("item"), v("j"))),
-            )]),
-            store(v("out"), v("item"), v("acc")),
-        ]),
-    );
-    m.add(
-        KernelBuilder::new("parent").array("vals").array("out").scalar("n").body(vec![
-            let_("id", gtid()),
-            when(
-                lt(v("id"), v("n")),
-                vec![if_(
-                    gt(load(v("vals"), v("id")), i(4)),
-                    vec![launch("serial_child", i(1), i(1), vec![v("vals"), v("out"), v("id")])],
-                    vec![store(v("out"), v("id"), neg(v("id")))],
-                )],
-            ),
-        ]),
-    );
+    m.add(KernelBuilder::new("serial_child").array("vals").array("out").scalar("item").body(vec![
+        let_("acc", i(0)),
+        for_(
+            "j",
+            i(0),
+            load(v("vals"), v("item")),
+            vec![assign("acc", add(v("acc"), add(v("item"), v("j"))))],
+        ),
+        store(v("out"), v("item"), v("acc")),
+    ]));
+    m.add(KernelBuilder::new("parent").array("vals").array("out").scalar("n").body(vec![
+        let_("id", gtid()),
+        when(
+            lt(v("id"), v("n")),
+            vec![if_(
+                gt(load(v("vals"), v("id")), i(4)),
+                vec![launch("serial_child", i(1), i(1), vec![v("vals"), v("out"), v("id")])],
+                vec![store(v("out"), v("id"), neg(v("id")))],
+            )],
+        ),
+    ]));
     m
 }
 
 fn solo_thread_expected(vals: &[i64]) -> Vec<i64> {
     vals.iter()
         .enumerate()
-        .map(|(id, &s)| {
-            if s > 4 {
-                (0..s).map(|j| id as i64 + j).sum()
-            } else {
-                -(id as i64)
-            }
-        })
+        .map(|(id, &s)| if s > 4 { (0..s).map(|j| id as i64 + j).sum() } else { -(id as i64) })
         .collect()
 }
 
@@ -161,20 +152,22 @@ fn solo_thread_one_to_one_uses_thread_mapping() {
 fn multi_block_module() -> Module {
     let mut m = Module::new();
     // Child zeroes a row of `width` cells using the whole grid.
+    m.add(KernelBuilder::new("wipe_row").array("data").scalar("width").scalar("row").body(vec![
+        for_step(
+            "j",
+            gtid(),
+            v("width"),
+            mul(ntid(), ncta()),
+            vec![store(v("data"), add(mul(v("row"), v("width")), v("j")), v("row"))],
+        ),
+    ]));
     m.add(
-        KernelBuilder::new("wipe_row").array("data").scalar("width").scalar("row").body(vec![
-            for_step(
-                "j",
-                gtid(),
-                v("width"),
-                mul(ntid(), ncta()),
-                vec![store(v("data"), add(mul(v("row"), v("width")), v("j")), v("row"))],
-            ),
-        ]),
-    );
-    m.add(
-        KernelBuilder::new("parent").array("data").array("dirty").scalar("width").scalar("rows").body(
-            vec![
+        KernelBuilder::new("parent")
+            .array("data")
+            .array("dirty")
+            .scalar("width")
+            .scalar("rows")
+            .body(vec![
                 let_("r", gtid()),
                 when(
                     lt(v("r"), v("rows")),
@@ -183,8 +176,7 @@ fn multi_block_module() -> Module {
                         vec![launch("wipe_row", i(4), i(64), vec![v("data"), v("width"), v("r")])],
                     )],
                 ),
-            ],
-        ),
+            ]),
     );
     m
 }
@@ -225,32 +217,28 @@ fn multi_block_class_all_granularities() {
 
 fn two_var_module() -> Module {
     let mut m = Module::new();
-    m.add(
-        KernelBuilder::new("pair_child")
-            .array("out")
-            .scalar("slot")
-            .scalar("value")
-            .body(vec![for_step("j", tid(), i(1), ntid(), vec![store(
-                v("out"),
-                v("slot"),
-                mul(v("value"), i(10)),
-            )])]),
-    );
-    m.add(
-        KernelBuilder::new("parent").array("src").array("out").scalar("n").body(vec![
-            let_("id", gtid()),
-            when(
-                lt(v("id"), v("n")),
-                vec![
-                    let_("val", load(v("src"), v("id"))),
-                    when(
-                        gt(v("val"), i(0)),
-                        vec![launch("pair_child", i(1), i(32), vec![v("out"), v("id"), v("val")])],
-                    ),
-                ],
-            ),
-        ]),
-    );
+    m.add(KernelBuilder::new("pair_child").array("out").scalar("slot").scalar("value").body(vec![
+        for_step(
+            "j",
+            tid(),
+            i(1),
+            ntid(),
+            vec![store(v("out"), v("slot"), mul(v("value"), i(10)))],
+        ),
+    ]));
+    m.add(KernelBuilder::new("parent").array("src").array("out").scalar("n").body(vec![
+        let_("id", gtid()),
+        when(
+            lt(v("id"), v("n")),
+            vec![
+                let_("val", load(v("src"), v("id"))),
+                when(
+                    gt(v("val"), i(0)),
+                    vec![launch("pair_child", i(1), i(32), vec![v("out"), v("id"), v("val")])],
+                ),
+            ],
+        ),
+    ]));
     m
 }
 
@@ -258,14 +246,13 @@ fn two_var_module() -> Module {
 fn two_work_variables_buffer_layout() {
     let n = 500usize;
     let src: Vec<i64> = (0..n as i64).map(|x| if x % 4 == 0 { 0 } else { x }).collect();
-    let expected: Vec<i64> =
-        src.iter().map(|&val| if val > 0 { val * 10 } else { 0 }).collect();
+    let expected: Vec<i64> = src.iter().map(|&val| if val > 0 { val * 10 } else { 0 }).collect();
     for g in Granularity::ALL {
         // Both `id` (slot) and `val` are thread-local: both must be buffered.
         let pragma = format!("dp consldt({}) buffer(custom) work(id, val)", g.label());
         let dir = Directive::parse(&pragma).unwrap();
-        let cons = consolidate(&two_var_module(), "parent", &dir, &GpuConfig::k20c(), None)
-            .unwrap();
+        let cons =
+            consolidate(&two_var_module(), "parent", &dir, &GpuConfig::k20c(), None).unwrap();
         assert_eq!(cons.info.nv, 2);
         assert_eq!(cons.info.buffered_positions, vec![1, 2]);
 

@@ -89,8 +89,9 @@ struct ScatterData {
 
 fn scatter_data(n: usize) -> ScatterData {
     // Deterministic irregular degrees: mostly small, a few heavy.
-    let deg: Vec<i64> =
-        (0..n).map(|i| if i % 17 == 0 { 200 + (i % 7) as i64 * 31 } else { (i % 9) as i64 }).collect();
+    let deg: Vec<i64> = (0..n)
+        .map(|i| if i % 17 == 0 { 200 + (i % 7) as i64 * 31 } else { (i % 9) as i64 })
+        .collect();
     let mut base = Vec::with_capacity(n);
     let mut acc = 0i64;
     for &d in &deg {
@@ -136,10 +137,11 @@ fn run_scatter_consolidated(
     policy: Option<ConfigPolicy>,
 ) -> (Vec<i64>, ProfileReport) {
     let d = scatter_data(n);
-    let pragma = format!("#pragma dp consldt({}) buffer(custom, perBufferSize: 256) work(id)", g.label());
+    let pragma =
+        format!("#pragma dp consldt({}) buffer(custom, perBufferSize: 256) work(id)", g.label());
     let dir = Directive::parse(&pragma).unwrap();
-    let cons = consolidate(&scatter_module(), "expand_parent", &dir, &GpuConfig::k20c(), policy)
-        .unwrap();
+    let cons =
+        consolidate(&scatter_module(), "expand_parent", &dir, &GpuConfig::k20c(), policy).unwrap();
     assert_eq!(cons.info.child_class, ChildClass::SoloBlock);
 
     let mut e = engine();
@@ -226,7 +228,8 @@ fn scatter_custom_policy_respects_directive() {
     let n = 300;
     let d = scatter_data(n);
     let expected = scatter_expected(&d);
-    let (out, _) = run_scatter_consolidated(n, 32, Granularity::Block, Some(ConfigPolicy::Custom(4, 64)));
+    let (out, _) =
+        run_scatter_consolidated(n, 32, Granularity::Block, Some(ConfigPolicy::Custom(4, 64)));
     assert_eq!(out, expected);
 }
 
@@ -389,8 +392,8 @@ fn grid_recursion_launches_once_per_level() {
 
 #[test]
 fn generated_parent_contains_template_elements() {
-    let dir = Directive::parse("dp consldt(block) buffer(custom, perBufferSize: 256) work(id)")
-        .unwrap();
+    let dir =
+        Directive::parse("dp consldt(block) buffer(custom, perBufferSize: 256) work(id)").unwrap();
     let cons =
         consolidate(&scatter_module(), "expand_parent", &dir, &GpuConfig::k20c(), None).unwrap();
     let src = dpcons_ir::module_to_string(&cons.module);
@@ -462,8 +465,7 @@ fn postwork_moves_to_consolidated_kernel_at_grid_level() {
             }
             Some(c) => {
                 let mut prep =
-                    prepare_launch(&mut e, &c.info, &ids, &args, (grid, 128), POOL_WORDS)
-                        .unwrap();
+                    prepare_launch(&mut e, &c.info, &ids, &args, (grid, 128), POOL_WORDS).unwrap();
                 reset_launch(&mut e, &mut prep).unwrap();
                 e.launch(prep.spec.clone()).unwrap();
             }
@@ -474,8 +476,7 @@ fn postwork_moves_to_consolidated_kernel_at_grid_level() {
     assert_eq!(grid_out, expected, "postwork consolidation broke synchronized semantics");
     // The prework slice must re-derive `id` (needed by the postwork) inside
     // the postwork kernel.
-    let pw_src =
-        dpcons_ir::kernel_to_string(cons.module.get("expand_parent__postwork").unwrap());
+    let pw_src = dpcons_ir::kernel_to_string(cons.module.get("expand_parent__postwork").unwrap());
     assert!(pw_src.contains("long id ="), "prework slice should duplicate `id`:\n{pw_src}");
     let _ = run(&m, None); // the racy basic variant still executes fine
 }

@@ -109,18 +109,34 @@ pub enum Stmt {
     If(Expr, Vec<Stmt>, Vec<Stmt>),
     While(Expr, Vec<Stmt>),
     /// `for (var = lo; var < hi; var += step)`.
-    For { var: String, lo: Expr, hi: Expr, step: Expr, body: Vec<Stmt> },
+    For {
+        var: String,
+        lo: Expr,
+        hi: Expr,
+        step: Expr,
+        body: Vec<Stmt>,
+    },
     /// Abstract computation of `units` work units per active lane.
     Compute(Expr),
     /// Device-side kernel launch: one child grid per active lane.
-    Launch { kernel: String, grid: Expr, block: Expr, args: Vec<Expr> },
+    Launch {
+        kernel: String,
+        grid: Expr,
+        block: Expr,
+        args: Vec<Expr>,
+    },
     /// `__syncthreads()`.
     Sync,
     /// `cudaDeviceSynchronize()` — wait for this block's child kernels.
     DeviceSync,
     /// Device-side buffer allocation from the consolidation heap. Binds two
     /// fresh locals: the heap array handle and the word offset of the buffer.
-    Alloc { handle_var: String, offset_var: String, words: Expr, scope: AllocScope },
+    Alloc {
+        handle_var: String,
+        offset_var: String,
+        words: Expr,
+        scope: AllocScope,
+    },
     /// Early exit for the remaining active lanes.
     Return,
 }

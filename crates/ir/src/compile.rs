@@ -68,8 +68,17 @@ pub enum CExpr {
 /// expressions, charged once per warp execution (SIMT lockstep).
 #[derive(Debug, Clone, PartialEq)]
 pub enum CStmt {
-    Assign { slot: u16, value: CExpr, ops: u32 },
-    Store { handle: CExpr, index: CExpr, value: CExpr, ops: u32 },
+    Assign {
+        slot: u16,
+        value: CExpr,
+        ops: u32,
+    },
+    Store {
+        handle: CExpr,
+        index: CExpr,
+        value: CExpr,
+        ops: u32,
+    },
     Atomic {
         op: AtomicOp,
         old: Option<u16>,
@@ -79,14 +88,46 @@ pub enum CStmt {
         value2: Option<CExpr>,
         ops: u32,
     },
-    If { cond: CExpr, then: Vec<CStmt>, els: Vec<CStmt>, ops: u32 },
-    While { cond: CExpr, body: Vec<CStmt>, ops: u32 },
-    For { var: u16, lo: CExpr, hi: CExpr, step: CExpr, body: Vec<CStmt>, ops: u32 },
-    Compute { units: CExpr, ops: u32 },
-    Launch { target: usize, grid: CExpr, block: CExpr, args: Vec<CExpr>, ops: u32 },
+    If {
+        cond: CExpr,
+        then: Vec<CStmt>,
+        els: Vec<CStmt>,
+        ops: u32,
+    },
+    While {
+        cond: CExpr,
+        body: Vec<CStmt>,
+        ops: u32,
+    },
+    For {
+        var: u16,
+        lo: CExpr,
+        hi: CExpr,
+        step: CExpr,
+        body: Vec<CStmt>,
+        ops: u32,
+    },
+    Compute {
+        units: CExpr,
+        ops: u32,
+    },
+    Launch {
+        target: usize,
+        grid: CExpr,
+        block: CExpr,
+        args: Vec<CExpr>,
+        ops: u32,
+    },
     Sync,
     DeviceSync,
-    Alloc { handle_slot: u16, offset_slot: u16, words: CExpr, scope: AllocScope, site: u32, ops: u32 },
+    Alloc {
+        handle_slot: u16,
+        offset_slot: u16,
+        words: CExpr,
+        scope: AllocScope,
+        site: u32,
+        ops: u32,
+    },
     Return,
 }
 
@@ -166,9 +207,7 @@ impl<'m> Scope<'m> {
             Expr::NCta => CExpr::NCta,
             Expr::Depth => CExpr::Depth,
             Expr::Ref(n) => self.lookup(n).ok_or_else(|| self.undefined(n))?,
-            Expr::Load(h, i) => {
-                CExpr::Load(Box::new(self.cexpr(h)?), Box::new(self.cexpr(i)?))
-            }
+            Expr::Load(h, i) => CExpr::Load(Box::new(self.cexpr(h)?), Box::new(self.cexpr(i)?)),
             Expr::Un(op, a) => CExpr::Un(*op, Box::new(self.cexpr(a)?)),
             Expr::Bin(op, a, b) => {
                 CExpr::Bin(*op, Box::new(self.cexpr(a)?), Box::new(self.cexpr(b)?))
@@ -243,11 +282,9 @@ impl<'m> Scope<'m> {
                 els: self.cstmts(e)?,
                 ops: expr_ops(c),
             },
-            Stmt::While(c, b) => CStmt::While {
-                cond: self.cexpr(c)?,
-                body: self.cstmts(b)?,
-                ops: expr_ops(c),
-            },
+            Stmt::While(c, b) => {
+                CStmt::While { cond: self.cexpr(c)?, body: self.cstmts(b)?, ops: expr_ops(c) }
+            }
             Stmt::For { var, lo, hi, step, body } => {
                 let lo_c = self.cexpr(lo)?;
                 let hi_c = self.cexpr(hi)?;
@@ -319,10 +356,7 @@ pub fn compile_kernel(module: &Module, k: &Kernel) -> Result<CKernel, IrError> {
     let mut params = HashMap::new();
     for (i, p) in k.params.iter().enumerate() {
         if params.insert(p.name.clone(), i as u16).is_some() {
-            return Err(IrError::DuplicateParam {
-                kernel: k.name.clone(),
-                name: p.name.clone(),
-            });
+            return Err(IrError::DuplicateParam { kernel: k.name.clone(), name: p.name.clone() });
         }
     }
     let mut scope = Scope {
@@ -352,19 +386,16 @@ pub fn compile_module(module: &Module) -> Result<CModule, IrError> {
             return Err(IrError::DuplicateKernel { name: k.name.clone() });
         }
     }
-    let kernels = module
-        .kernels
-        .iter()
-        .map(|k| compile_kernel(module, k))
-        .collect::<Result<Vec<_>, _>>()?;
+    let kernels =
+        module.kernels.iter().map(|k| compile_kernel(module, k)).collect::<Result<Vec<_>, _>>()?;
     Ok(CModule { kernels, by_name })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::dsl::*;
     use crate::ast::Param;
+    use crate::dsl::*;
 
     fn one_kernel_module(k: Kernel) -> Module {
         let mut m = Module::new();
@@ -374,10 +405,10 @@ mod tests {
 
     #[test]
     fn resolves_params_and_locals() {
-        let k = KernelBuilder::new("k").array("a").scalar("n").body(vec![
-            let_("x", add(v("n"), i(1))),
-            assign("x", load(v("a"), v("x"))),
-        ]);
+        let k = KernelBuilder::new("k")
+            .array("a")
+            .scalar("n")
+            .body(vec![let_("x", add(v("n"), i(1))), assign("x", load(v("a"), v("x")))]);
         let m = one_kernel_module(k);
         let cm = compile_module(&m).unwrap();
         let ck = &cm.kernels[0];
@@ -410,10 +441,8 @@ mod tests {
     #[test]
     fn locals_are_lexically_scoped() {
         // `y` declared inside the If must not be visible after it.
-        let k = KernelBuilder::new("k").body(vec![
-            if_(i(1), vec![let_("y", i(5))], vec![]),
-            let_("z", v("y")),
-        ]);
+        let k = KernelBuilder::new("k")
+            .body(vec![if_(i(1), vec![let_("y", i(5))], vec![]), let_("z", v("y"))]);
         let err = compile_module(&one_kernel_module(k)).unwrap_err();
         assert!(matches!(err, IrError::Undefined { .. }));
     }
@@ -440,8 +469,7 @@ mod tests {
     #[test]
     fn launch_target_and_arity_validated() {
         let child = KernelBuilder::new("child").scalar("x").body(vec![]);
-        let parent =
-            KernelBuilder::new("parent").body(vec![launch("child", i(1), i(32), vec![])]);
+        let parent = KernelBuilder::new("parent").body(vec![launch("child", i(1), i(32), vec![])]);
         let mut m = Module::new();
         m.add(child).add(parent);
         let err = compile_module(&m).unwrap_err();
@@ -455,14 +483,10 @@ mod tests {
             }
         );
 
-        let parent2 =
-            KernelBuilder::new("parent").body(vec![launch("ghost", i(1), i(32), vec![])]);
+        let parent2 = KernelBuilder::new("parent").body(vec![launch("ghost", i(1), i(32), vec![])]);
         let mut m2 = Module::new();
         m2.add(parent2);
-        assert!(matches!(
-            compile_module(&m2).unwrap_err(),
-            IrError::UnknownLaunchTarget { .. }
-        ));
+        assert!(matches!(compile_module(&m2).unwrap_err(), IrError::UnknownLaunchTarget { .. }));
     }
 
     #[test]
@@ -482,10 +506,8 @@ mod tests {
 
     #[test]
     fn for_var_scoped_to_body() {
-        let k = KernelBuilder::new("k").body(vec![
-            for_("i", i(0), i(4), vec![compute(v("i"))]),
-            let_("x", v("i")),
-        ]);
+        let k = KernelBuilder::new("k")
+            .body(vec![for_("i", i(0), i(4), vec![compute(v("i"))]), let_("x", v("i"))]);
         assert!(matches!(
             compile_module(&one_kernel_module(k)).unwrap_err(),
             IrError::Undefined { .. }

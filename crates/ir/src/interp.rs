@@ -22,8 +22,8 @@ use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
 
 use dpcons_sim::{
-    coalesced_transactions, BlockCtx, BlockResult, KernelBody, KernelId, LaunchSpec,
-    SegmentResult, SimError,
+    coalesced_transactions, BlockCtx, BlockResult, KernelBody, KernelId, LaunchSpec, SegmentResult,
+    SimError,
 };
 
 use crate::ast::{AllocScope, AtomicOp, BinOp, Module, UnOp};
@@ -544,8 +544,7 @@ impl WarpExec<'_, '_, '_> {
                 let mut need = 0u32;
                 for l in 0..32 {
                     if mask & (1 << l) != 0 {
-                        let decided =
-                            matches!(op, BinOp::LAnd) == (av[l] == 0);
+                        let decided = matches!(op, BinOp::LAnd) == (av[l] == 0);
                         if decided {
                             out[l] = (matches!(op, BinOp::LOr)) as i64;
                         } else {
@@ -653,13 +652,7 @@ fn assemble_block(
     let seg0_phases: Vec<Vec<&Chunk>> = traces
         .iter()
         .enumerate()
-        .map(|(w, t)| {
-            if w == sync_warp {
-                w0_segments[0].clone()
-            } else {
-                t.iter().collect()
-            }
-        })
+        .map(|(w, t)| if w == sync_warp { w0_segments[0].clone() } else { t.iter().collect() })
         .collect();
     let aligned = seg0_phases.iter().all(|p| p.len() == seg0_phases[0].len());
     let seg0_duration = if aligned {
@@ -683,11 +676,8 @@ fn assemble_block(
 
     // Aggregate warp metrics into segments.
     for (w, trace) in traces.iter().enumerate() {
-        let segs: Vec<Vec<&Chunk>> = if w == sync_warp {
-            split_segments(trace)
-        } else {
-            vec![trace.iter().collect()]
-        };
+        let segs: Vec<Vec<&Chunk>> =
+            if w == sync_warp { split_segments(trace) } else { vec![trace.iter().collect()] };
         for (si, chunks) in segs.iter().enumerate() {
             let seg = &mut segments[si.min(nseg - 1)];
             for c in chunks {

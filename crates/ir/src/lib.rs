@@ -72,10 +72,8 @@ mod interp_tests {
     #[test]
     fn divergent_if_reduces_efficiency() {
         // Lanes 0..16 do heavy work, lanes 16..32 do nothing.
-        let k = KernelBuilder::new("div").body(vec![when(
-            lt(tid(), i(16)),
-            vec![compute(i(10_000))],
-        )]);
+        let k =
+            KernelBuilder::new("div").body(vec![when(lt(tid(), i(16)), vec![compute(i(10_000))])]);
         let (_, _, r) = run(k, vec![], 1, 32, vec![]);
         assert!(
             r.warp_exec_efficiency < 0.6,
@@ -94,10 +92,10 @@ mod interp_tests {
         let k = KernelBuilder::new("drain").array("out").body(vec![
             let_("c", tid()),
             let_("n", i(0)),
-            while_(gt(v("c"), i(0)), vec![
-                assign("c", sub(v("c"), i(1))),
-                assign("n", add(v("n"), i(1))),
-            ]),
+            while_(
+                gt(v("c"), i(0)),
+                vec![assign("c", sub(v("c"), i(1))), assign("n", add(v("n"), i(1)))],
+            ),
             store(v("out"), tid(), v("n")),
         ]);
         let (e, h, _) = run(k, vec![("out", vec![-1; 32])], 1, 32, vec![]);
@@ -134,9 +132,8 @@ mod interp_tests {
 
     #[test]
     fn coalesced_vs_strided_dram() {
-        let k_seq = KernelBuilder::new("seq")
-            .array("a")
-            .body(vec![let_("x", load(v("a"), gtid()))]);
+        let k_seq =
+            KernelBuilder::new("seq").array("a").body(vec![let_("x", load(v("a"), gtid()))]);
         let (_, _, r_seq) = run(k_seq, vec![("a", vec![1; 2048])], 1, 32, vec![]);
         let k_str = KernelBuilder::new("strided")
             .array("a")
@@ -166,9 +163,7 @@ mod interp_tests {
             vec![launch("child", i(1), i(32), vec![v("flag"), tid()])],
         )]));
         let ids = install(&mut e, &m).unwrap();
-        let r = e
-            .launch(LaunchSpec::new(ids["parent"], 1, 32, vec![flag as i64]))
-            .unwrap();
+        let r = e.launch(LaunchSpec::new(ids["parent"], 1, 32, vec![flag as i64])).unwrap();
         assert_eq!(r.device_launches, 5);
         for l in 0..5 {
             assert_eq!(e.mem.read(flag, l).unwrap(), 1);
@@ -228,10 +223,8 @@ mod interp_tests {
 
     #[test]
     fn device_sync_in_two_warps_faults() {
-        let k = KernelBuilder::new("bad").body(vec![when(
-            eq(rem(tid(), i(32)), i(0)),
-            vec![device_sync()],
-        )]);
+        let k = KernelBuilder::new("bad")
+            .body(vec![when(eq(rem(tid(), i(32)), i(0)), vec![device_sync()])]);
         let mut e = engine();
         let mut m = Module::new();
         m.add(k);
@@ -265,10 +258,13 @@ mod interp_tests {
         let k = KernelBuilder::new("allocs").array("out").body(vec![
             alloc("bh", "bo", i(64), AllocScope::Block),
             alloc("wh", "wo", i(64), AllocScope::Warp),
-            when(eq(rem(tid(), i(32)), i(0)), vec![
-                store(v("out"), div(tid(), i(32)), v("wo")),
-                store(v("out"), add(i(8), div(tid(), i(32))), v("bo")),
-            ]),
+            when(
+                eq(rem(tid(), i(32)), i(0)),
+                vec![
+                    store(v("out"), div(tid(), i(32)), v("wo")),
+                    store(v("out"), add(i(8), div(tid(), i(32))), v("bo")),
+                ],
+            ),
         ]);
         let (e, h, _) = run(k, vec![("out", vec![-1; 16])], 1, 64, vec![]);
         let out = e.mem.slice(h[0]).unwrap();
@@ -295,10 +291,9 @@ mod interp_tests {
 
     #[test]
     fn return_deactivates_lanes() {
-        let k = KernelBuilder::new("ret").array("out").body(vec![
-            when(lt(tid(), i(16)), vec![ret()]),
-            store(v("out"), tid(), i(1)),
-        ]);
+        let k = KernelBuilder::new("ret")
+            .array("out")
+            .body(vec![when(lt(tid(), i(16)), vec![ret()]), store(v("out"), tid(), i(1))]);
         let (e, h, _) = run(k, vec![("out", vec![0; 32])], 1, 32, vec![]);
         let out = e.mem.slice(h[0]).unwrap();
         for l in 0..16 {
@@ -311,9 +306,7 @@ mod interp_tests {
 
     #[test]
     fn partial_warp_masks_high_lanes() {
-        let k = KernelBuilder::new("partial")
-            .array("out")
-            .body(vec![store(v("out"), tid(), i(1))]);
+        let k = KernelBuilder::new("partial").array("out").body(vec![store(v("out"), tid(), i(1))]);
         let (e, h, _) = run(k, vec![("out", vec![0; 48])], 1, 40, vec![]);
         let out = e.mem.slice(h[0]).unwrap();
         assert_eq!(out[..40].iter().sum::<i64>(), 40);

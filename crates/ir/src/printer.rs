@@ -217,7 +217,10 @@ mod tests {
     fn renders_expressions() {
         assert_eq!(expr_to_string(&add(v("a"), i(1))), "(a + 1)");
         assert_eq!(expr_to_string(&min_(v("a"), v("b"))), "min(a, b)");
-        assert_eq!(expr_to_string(&load(v("p"), gtid())), "p[(blockIdx.x * blockDim.x + threadIdx.x)]");
+        assert_eq!(
+            expr_to_string(&load(v("p"), gtid())),
+            "p[(blockIdx.x * blockDim.x + threadIdx.x)]"
+        );
         assert_eq!(expr_to_string(&not(v("f"))), "!(f)");
     }
 
@@ -225,10 +228,7 @@ mod tests {
     fn renders_kernel_with_launch() {
         let k = KernelBuilder::new("parent").array("work").scalar("n").body(vec![
             let_("id", gtid()),
-            when(
-                lt(v("id"), v("n")),
-                vec![launch("child", i(1), i(32), vec![v("work"), v("id")])],
-            ),
+            when(lt(v("id"), v("n")), vec![launch("child", i(1), i(32), vec![v("work"), v("id")])]),
         ]);
         let s = kernel_to_string(&k);
         assert!(s.contains("__global__ void parent(long* work, long n)"));

@@ -1,58 +1,56 @@
 //! Differential testing of the SIMT interpreter: random expression trees and
 //! random straight-line programs are executed on the simulator and compared
 //! lane-by-lane against a direct host-side evaluator.
+//!
+//! The offline build has no `proptest`, so case generation is a hand-rolled
+//! deterministic sweep over a seeded `Rng64` stream; failures name the
+//! case index so a run is reproducible.
 
 use dpcons_ir::ast::{BinOp, Expr, UnOp};
 use dpcons_ir::dsl::*;
 use dpcons_ir::{install, Module};
 use dpcons_sim::{AllocKind, Engine, GpuConfig, LaunchSpec};
-use proptest::prelude::*;
+use dpcons_workloads::rng::Rng64;
 
-// ------------------------------------------------------------------
-// Random expression generator over a fixed set of scalars.
-// ------------------------------------------------------------------
+const BINOPS: [BinOp; 16] = [
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::Min,
+    BinOp::Max,
+    BinOp::And,
+    BinOp::Or,
+    BinOp::Xor,
+    BinOp::Eq,
+    BinOp::Ne,
+    BinOp::Lt,
+    BinOp::Le,
+    BinOp::Gt,
+    BinOp::Ge,
+    BinOp::LAnd,
+    BinOp::LOr,
+];
 
-fn arb_expr() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        (-100i64..100).prop_map(Expr::I),
-        Just(Expr::Tid),
-        Just(Expr::NTid),
-        Just(Expr::CtaId),
-        Just(Expr::Ref("s0".to_string())),
-        Just(Expr::Ref("s1".to_string())),
-    ];
-    leaf.prop_recursive(3, 24, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone(), arb_binop()).prop_map(|(a, b, op)| Expr::Bin(
-                op,
-                Box::new(a),
-                Box::new(b)
-            )),
-            inner.clone().prop_map(|a| Expr::Un(UnOp::Neg, Box::new(a))),
-            inner.prop_map(|a| Expr::Un(UnOp::Not, Box::new(a))),
-        ]
-    })
-}
-
-fn arb_binop() -> impl Strategy<Value = BinOp> {
-    prop::sample::select(vec![
-        BinOp::Add,
-        BinOp::Sub,
-        BinOp::Mul,
-        BinOp::Min,
-        BinOp::Max,
-        BinOp::And,
-        BinOp::Or,
-        BinOp::Xor,
-        BinOp::Eq,
-        BinOp::Ne,
-        BinOp::Lt,
-        BinOp::Le,
-        BinOp::Gt,
-        BinOp::Ge,
-        BinOp::LAnd,
-        BinOp::LOr,
-    ])
+/// Random expression over constants, thread builtins, and scalars `s0`/`s1`.
+fn arb_expr(g: &mut Rng64, depth: u32) -> Expr {
+    if depth == 0 || g.range_i64(0, 100) < 35 {
+        return match g.range_i64(0, 6) {
+            0 => Expr::I(g.range_i64(-100, 100)),
+            1 => Expr::Tid,
+            2 => Expr::NTid,
+            3 => Expr::CtaId,
+            4 => Expr::Ref("s0".to_string()),
+            _ => Expr::Ref("s1".to_string()),
+        };
+    }
+    match g.range_i64(0, 4) {
+        0 => Expr::Un(UnOp::Neg, Box::new(arb_expr(g, depth - 1))),
+        1 => Expr::Un(UnOp::Not, Box::new(arb_expr(g, depth - 1))),
+        _ => {
+            let op = BINOPS[g.range_i64(0, BINOPS.len() as i64) as usize];
+            Expr::Bin(op, Box::new(arb_expr(g, depth - 1)), Box::new(arb_expr(g, depth - 1)))
+        }
+    }
 }
 
 /// Host-side oracle: evaluate `e` for one lane.
@@ -72,7 +70,7 @@ fn eval_host(e: &Expr, tid: i64, ntid: i64, cta: i64, s0: i64, s1: i64) -> i64 {
                 s1
             }
         }
-        Expr::Load(..) => unreachable!("no loads in this strategy"),
+        Expr::Load(..) => unreachable!("no loads in this generator"),
         Expr::Un(UnOp::Neg, a) => eval_host(a, tid, ntid, cta, s0, s1).wrapping_neg(),
         Expr::Un(UnOp::Not, a) => (eval_host(a, tid, ntid, cta, s0, s1) == 0) as i64,
         Expr::Bin(op, a, b) => {
@@ -103,52 +101,55 @@ fn eval_host(e: &Expr, tid: i64, ntid: i64, cta: i64, s0: i64, s1: i64) -> i64 {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    /// Every lane's value of a random expression matches the host oracle.
-    #[test]
-    fn expressions_match_host_oracle(e in arb_expr(), s0 in -50i64..50, s1 in -50i64..50) {
+/// Every lane's value of a random expression matches the host oracle.
+#[test]
+fn expressions_match_host_oracle() {
+    let mut g = Rng64::seed_from_u64(0xE59);
+    for case in 0..64 {
+        let e = arb_expr(&mut g, 3);
+        let s0 = g.range_i64(-50, 50);
+        let s1 = g.range_i64(-50, 50);
         let mut m = Module::new();
-        m.add(
-            KernelBuilder::new("k")
-                .array("out")
-                .scalar("s0")
-                .scalar("s1")
-                .body(vec![store(v("out"), tid(), e.clone())]),
-        );
+        m.add(KernelBuilder::new("k").array("out").scalar("s0").scalar("s1").body(vec![store(
+            v("out"),
+            tid(),
+            e.clone(),
+        )]));
         let mut eng = Engine::new(GpuConfig::tiny(), AllocKind::PreAlloc, 1 << 12);
         let out = eng.mem.alloc_array("out", 64);
         let ids = install(&mut eng, &m).unwrap();
         eng.launch(LaunchSpec::new(ids["k"], 2, 32, vec![out as i64, s0, s1])).unwrap();
         let got = eng.mem.slice(out).unwrap();
         // Two blocks write the same tid slots; block 1 (executed last) wins,
-        // so compare against cta = 1 for all lanes... both blocks compute the
-        // same value unless CtaId is involved; evaluate for cta=1.
+        // so compare against cta = 1 for all lanes.
         for lane in 0..32 {
             let want = eval_host(&e, lane, 32, 1, s0, s1);
-            prop_assert_eq!(got[lane as usize], want, "lane {} of {:?}", lane, e);
+            assert_eq!(got[lane as usize], want, "case {case}, lane {lane} of {e:?}");
         }
     }
+}
 
-    /// Random guarded accumulation: interpreter vs host loop, including
-    /// divergence (per-lane trip counts).
-    #[test]
-    fn divergent_loops_match_host_oracle(
-        trips in proptest::collection::vec(0i64..20, 32),
-        step in 1i64..5,
-    ) {
+/// Random guarded accumulation: interpreter vs host loop, including
+/// divergence (per-lane trip counts).
+#[test]
+fn divergent_loops_match_host_oracle() {
+    let mut g = Rng64::seed_from_u64(0xD117);
+    for case in 0..32 {
+        let trips: Vec<i64> = (0..32).map(|_| g.range_i64(0, 20)).collect();
+        let step = g.range_i64(1, 5);
         let mut m = Module::new();
-        m.add(
-            KernelBuilder::new("k").array("trips").array("out").scalar("step").body(vec![
-                let_("limit", load(v("trips"), tid())),
-                let_("acc", i(0)),
-                for_step("j", i(0), v("limit"), v("step"), vec![
-                    assign("acc", add(v("acc"), add(v("j"), i(1)))),
-                ]),
-                store(v("out"), tid(), v("acc")),
-            ]),
-        );
+        m.add(KernelBuilder::new("k").array("trips").array("out").scalar("step").body(vec![
+            let_("limit", load(v("trips"), tid())),
+            let_("acc", i(0)),
+            for_step(
+                "j",
+                i(0),
+                v("limit"),
+                v("step"),
+                vec![assign("acc", add(v("acc"), add(v("j"), i(1))))],
+            ),
+            store(v("out"), tid(), v("acc")),
+        ]));
         let mut eng = Engine::new(GpuConfig::tiny(), AllocKind::PreAlloc, 1 << 12);
         let trips_h = eng.mem.alloc_array_init("trips", trips.clone());
         let out = eng.mem.alloc_array("out", 32);
@@ -163,21 +164,24 @@ proptest! {
                 acc += j + 1;
                 j += step;
             }
-            prop_assert_eq!(got[lane], acc, "lane {}", lane);
+            assert_eq!(got[lane], acc, "case {case}, lane {lane}");
         }
     }
+}
 
-    /// Atomic accumulation across blocks is order-insensitive for the values
-    /// and deterministic for the returned old values.
-    #[test]
-    fn atomic_sums_match(adds in proptest::collection::vec(1i64..100, 1..64)) {
-        let n = adds.len();
+/// Atomic accumulation across blocks is order-insensitive for the values
+/// and deterministic for the returned old values.
+#[test]
+fn atomic_sums_match() {
+    let mut g = Rng64::seed_from_u64(0xA70);
+    for case in 0..32 {
+        let n = g.range_i64(1, 64) as usize;
+        let adds: Vec<i64> = (0..n).map(|_| g.range_i64(1, 100)).collect();
         let mut m = Module::new();
-        m.add(KernelBuilder::new("k").array("vals").array("sum").scalar("n").body(vec![
-            when(lt(gtid(), v("n")), vec![
-                atomic_add(None, v("sum"), i(0), load(v("vals"), gtid())),
-            ]),
-        ]));
+        m.add(KernelBuilder::new("k").array("vals").array("sum").scalar("n").body(vec![when(
+            lt(gtid(), v("n")),
+            vec![atomic_add(None, v("sum"), i(0), load(v("vals"), gtid()))],
+        )]));
         let mut eng = Engine::new(GpuConfig::tiny(), AllocKind::PreAlloc, 1 << 12);
         let vals = eng.mem.alloc_array_init("vals", adds.clone());
         let sum = eng.mem.alloc_array("sum", 1);
@@ -189,6 +193,6 @@ proptest! {
             vec![vals as i64, sum as i64, n as i64],
         ))
         .unwrap();
-        prop_assert_eq!(eng.mem.read(sum, 0).unwrap(), adds.iter().sum::<i64>());
+        assert_eq!(eng.mem.read(sum, 0).unwrap(), adds.iter().sum::<i64>(), "case {case}");
     }
 }

@@ -171,8 +171,7 @@ impl DeviceHeap {
                     Backend::Slab { .. } => 1u64 << size_class(words),
                     _ => words,
                 };
-                self.stats.peak_words_in_use =
-                    self.stats.peak_words_in_use.max(self.words_in_use);
+                self.stats.peak_words_in_use = self.stats.peak_words_in_use.max(self.words_in_use);
                 Ok(o)
             }
             None => {
@@ -354,13 +353,15 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use dpcons_workloads::rng::Rng64;
 
-    proptest! {
-        /// Free-list allocator never hands out overlapping live regions and
-        /// frees fully reclaim capacity.
-        #[test]
-        fn default_allocator_no_overlap(sizes in proptest::collection::vec(1u64..64, 1..40)) {
+    /// Free-list allocator never hands out overlapping live regions and
+    /// frees fully reclaim capacity.
+    #[test]
+    fn default_allocator_no_overlap() {
+        let mut g = Rng64::seed_from_u64(0xA110C);
+        for case in 0..32 {
+            let sizes: Vec<u64> = (0..g.range_u64(1, 40)).map(|_| g.range_u64(1, 64)).collect();
             let mut mem = GlobalMem::new();
             let mut h = DeviceHeap::new(AllocKind::Default, 1 << 14, &mut mem);
             let c = CostModel::default();
@@ -368,21 +369,26 @@ mod proptests {
             for (i, &s) in sizes.iter().enumerate() {
                 let off = h.alloc(s, &c).unwrap();
                 for &(o, l) in &live {
-                    prop_assert!(off + s <= o || o + l <= off, "overlap at alloc {i}");
+                    assert!(off + s <= o || o + l <= off, "case {case}: overlap at alloc {i}");
                 }
                 live.push((off, s));
             }
             for (o, l) in live.drain(..) {
                 h.free(o, l, &c);
             }
-            prop_assert_eq!(h.words_in_use(), 0);
+            assert_eq!(h.words_in_use(), 0, "case {case}");
             // All capacity available again.
-            prop_assert!(h.alloc(1 << 14, &c).is_ok());
+            assert!(h.alloc(1 << 14, &c).is_ok(), "case {case}");
         }
+    }
 
-        /// Slab allocator round-trips arbitrary interleavings of alloc/free.
-        #[test]
-        fn halloc_alloc_free_interleave(ops in proptest::collection::vec((1u64..200, any::<bool>()), 1..60)) {
+    /// Slab allocator round-trips arbitrary interleavings of alloc/free.
+    #[test]
+    fn halloc_alloc_free_interleave() {
+        let mut g = Rng64::seed_from_u64(0x5AB5);
+        for case in 0..32 {
+            let ops: Vec<(u64, bool)> =
+                (0..g.range_u64(1, 60)).map(|_| (g.range_u64(1, 200), g.gen_bool(0.5))).collect();
             let mut mem = GlobalMem::new();
             let mut h = DeviceHeap::new(AllocKind::Halloc, 1 << 16, &mut mem);
             let c = CostModel::default();
@@ -394,7 +400,7 @@ mod proptests {
                 } else {
                     let off = h.alloc(s, &c).unwrap();
                     for &(o, _) in &live {
-                        prop_assert_ne!(off, o);
+                        assert_ne!(off, o, "case {case}");
                     }
                     live.push((off, s));
                 }

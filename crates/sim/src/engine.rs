@@ -93,14 +93,47 @@ impl Engine {
         &mut self,
         spec: LaunchSpec,
     ) -> Result<(ProfileReport, crate::trace::LaunchTree), SimError> {
-        let records = self.functional_phase(spec)?;
-        let mut report = self.timing_phase(&records);
-        report.host_launches = 1;
-        report.device_launches = records.len() as u64 - 1;
-        report.kernels_executed = records.len() as u64;
+        let records = self.capture(spec)?;
+        let mut report = self.replay_timing(&records);
         report.alloc_ops = self.heap.stats.allocs;
         report.alloc_cycles = self.heap.stats.alloc_cycles;
         Ok((report, crate::trace::summarize(&records)))
+    }
+
+    /// Run only the **functional phase**: execute the launch DAG
+    /// deterministically, mutating device memory, and return the captured
+    /// [`ExecRecord`]s without timing them. Pair with [`Engine::replay_timing`]
+    /// to obtain the profile; callers that want to re-time one functional
+    /// execution several times (e.g. the `dpcons-tune` sweep de-duplicating
+    /// functionally-identical directive candidates, or what-if re-timing on a
+    /// different device description) can do so without paying the functional
+    /// re-execution.
+    pub fn capture(&mut self, spec: LaunchSpec) -> Result<Vec<ExecRecord>, SimError> {
+        self.functional_phase(spec)
+    }
+
+    /// Timing-only replay of a previously [`Engine::capture`]d launch DAG on
+    /// this engine's device. Launch counters are derived from the records;
+    /// allocator statistics are not filled in (they belong to the capture).
+    pub fn replay_timing(&self, records: &[ExecRecord]) -> ProfileReport {
+        Self::replay_timing_on(&self.gpu, records)
+    }
+
+    /// Replay captured records against an arbitrary device description.
+    ///
+    /// Valid when `gpu` shares the capture device's [`crate::CostModel`] and
+    /// warp size: segment durations are baked into the records at capture
+    /// time, while structural resources (SM count, residency limits,
+    /// concurrency, pending pools) are applied here. This is what lets a
+    /// K20c-captured run be re-timed on a K40-like device for free.
+    pub fn replay_timing_on(gpu: &GpuConfig, records: &[ExecRecord]) -> ProfileReport {
+        let mut report = TimingSim::new(gpu, records).run();
+        if !records.is_empty() {
+            report.host_launches = 1;
+            report.device_launches = records.len() as u64 - 1;
+            report.kernels_executed = records.len() as u64;
+        }
+        report
     }
 
     // ---------------------------------------------------------- Phase A ----
@@ -108,8 +141,7 @@ impl Engine {
     fn functional_phase(&mut self, root: LaunchSpec) -> Result<Vec<ExecRecord>, SimError> {
         self.validate_spec(&root, 0)?;
         let mut records: Vec<ExecRecord> = Vec::new();
-        let mut queue: VecDeque<(LaunchSpec, u32, Option<(usize, u32, usize)>)> =
-            VecDeque::new();
+        let mut queue: VecDeque<(LaunchSpec, u32, Option<(usize, u32, usize)>)> = VecDeque::new();
         queue.push_back((root, 0, None));
 
         while let Some((spec, depth, parent)) = queue.pop_front() {
@@ -175,18 +207,9 @@ impl Engine {
             });
         }
         if depth > self.gpu.max_nesting_depth {
-            return Err(SimError::NestingTooDeep {
-                depth,
-                limit: self.gpu.max_nesting_depth,
-            });
+            return Err(SimError::NestingTooDeep { depth, limit: self.gpu.max_nesting_depth });
         }
         Ok(())
-    }
-
-    // ---------------------------------------------------------- Phase B ----
-
-    fn timing_phase(&self, records: &[ExecRecord]) -> ProfileReport {
-        TimingSim::new(&self.gpu, records).run()
     }
 }
 
@@ -285,12 +308,7 @@ impl<'a> TimingSim<'a> {
             .iter()
             .map(|r| {
                 (0..r.spec.grid)
-                    .map(|_| BlockRt {
-                        next_seg: 0,
-                        waiting_children: 0,
-                        swapped: false,
-                        sm: None,
-                    })
+                    .map(|_| BlockRt { next_seg: 0, waiting_children: 0, swapped: false, sm: None })
                     .collect()
             })
             .collect();
@@ -593,11 +611,9 @@ impl<'a> TimingSim<'a> {
             } else {
                 // Continue on the same SM: schedule the next segment in place.
                 let smi = self.bstate[rec][block as usize].sm;
-                let seg =
-                    &self.records[rec].blocks[block as usize].segments[seg_idx + 1];
+                let seg = &self.records[rec].blocks[block as usize].segments[seg_idx + 1];
                 let dur = seg.duration.max(1);
-                let warps =
-                    self.records[rec].spec.block.div_ceil(self.gpu.warp_size) as u128;
+                let warps = self.records[rec].spec.block.div_ceil(self.gpu.warp_size) as u128;
                 self.warp_residency_integral += warps * dur as u128;
                 self.seq += 1;
                 self.events.push(Reverse((self.now + dur, self.seq, rec, block)));
@@ -761,10 +777,7 @@ mod tests {
         let r = e.launch(LaunchSpec::new(k, 1, 32, vec![])).unwrap();
         assert_eq!(r.kernels_executed, 1);
         assert_eq!(r.device_launches, 0);
-        assert_eq!(
-            r.total_cycles,
-            c.host_launch_cycles + c.kernel_dispatch_cycles + 500
-        );
+        assert_eq!(r.total_cycles, c.host_launch_cycles + c.kernel_dispatch_cycles + 500);
         assert!((r.warp_exec_efficiency - 1.0).abs() < 1e-9);
     }
 
@@ -785,9 +798,7 @@ mod tests {
             s.launches.push(LaunchSpec::new(ctx.args[1] as usize, 1, 32, vec![arr as i64]));
             Ok(BlockResult::single(s))
         }));
-        let r = e
-            .launch(LaunchSpec::new(parent, 1, 32, vec![data as i64, child as i64]))
-            .unwrap();
+        let r = e.launch(LaunchSpec::new(parent, 1, 32, vec![data as i64, child as i64])).unwrap();
         assert_eq!(r.device_launches, 1);
         assert_eq!(r.kernels_executed, 2);
         assert_eq!(e.mem.read(data, 1).unwrap(), 42);
@@ -964,6 +975,55 @@ mod tests {
         // 2 SMs * 2 blocks resident => 4 at a time => at least 8 waves.
         let c = &e.gpu.costs;
         assert!(r.total_cycles >= c.host_launch_cycles + 8 * 100);
+    }
+
+    #[test]
+    fn capture_then_replay_matches_launch() {
+        let build = |e: &mut Engine| {
+            let child = e.register(fn_kernel("child", |_| Ok(BlockResult::single(seg(120)))));
+            e.register(fn_kernel("parent", move |_ctx| {
+                let mut s = seg(30);
+                for _ in 0..6 {
+                    s.launches.push(LaunchSpec::new(child, 2, 64, vec![]));
+                }
+                s.ends_with_device_sync = true;
+                Ok(BlockResult { segments: vec![s, seg(30)] })
+            }))
+        };
+        let mut e1 = Engine::new(GpuConfig::tiny(), AllocKind::PreAlloc, 1024);
+        let parent = build(&mut e1);
+        let direct = e1.launch(LaunchSpec::new(parent, 2, 64, vec![])).unwrap();
+
+        let mut e2 = Engine::new(GpuConfig::tiny(), AllocKind::PreAlloc, 1024);
+        let parent = build(&mut e2);
+        let records = e2.capture(LaunchSpec::new(parent, 2, 64, vec![])).unwrap();
+        let replayed = e2.replay_timing(&records);
+        assert_eq!(direct, replayed);
+        // Replay is repeatable without functional re-execution.
+        assert_eq!(replayed, e2.replay_timing(&records));
+    }
+
+    #[test]
+    fn replay_on_bigger_device_is_not_slower() {
+        let mut e = Engine::new(GpuConfig::k20c(), AllocKind::PreAlloc, 1024);
+        let child = e.register(fn_kernel("child", |_| Ok(BlockResult::single(seg(200)))));
+        let parent = e.register(fn_kernel("parent", move |ctx| {
+            let mut s = seg(10);
+            for _ in 0..40 {
+                s.launches.push(LaunchSpec::new(ctx.args[0] as usize, 4, 256, vec![]));
+            }
+            Ok(BlockResult::single(s))
+        }));
+        let records = e.capture(LaunchSpec::new(parent, 8, 256, vec![child as i64])).unwrap();
+        let k20 = e.replay_timing(&records);
+        let k40 = Engine::replay_timing_on(&GpuConfig::k40(), &records);
+        assert_eq!(k20.kernels_executed, k40.kernels_executed);
+        assert!(
+            k40.total_cycles <= k20.total_cycles,
+            "more SMs should not slow the replay: {} vs {}",
+            k40.total_cycles,
+            k20.total_cycles
+        );
     }
 
     #[test]

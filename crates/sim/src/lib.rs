@@ -42,16 +42,47 @@ pub use trace::{summarize, DepthLevel, KernelSummary, LaunchTree};
 /// well as harness misuse (unknown kernels, runaway recursion).
 #[derive(Debug, Clone, PartialEq)]
 pub enum SimError {
-    OutOfBounds { array: String, handle: i64, index: i64, len: usize },
-    BadHandle { handle: i64 },
-    UploadSizeMismatch { array: String, expected: usize, got: usize },
-    HeapExhausted { kind: &'static str, requested: u64, capacity: u64, in_use: u64 },
-    UnknownKernel { id: usize },
-    BadLaunchConfig { kernel: String, grid: u32, block: u32, reason: &'static str },
-    NestingTooDeep { depth: u32, limit: u32 },
-    KernelExecLimit { limit: usize },
+    OutOfBounds {
+        array: String,
+        handle: i64,
+        index: i64,
+        len: usize,
+    },
+    BadHandle {
+        handle: i64,
+    },
+    UploadSizeMismatch {
+        array: String,
+        expected: usize,
+        got: usize,
+    },
+    HeapExhausted {
+        kind: &'static str,
+        requested: u64,
+        capacity: u64,
+        in_use: u64,
+    },
+    UnknownKernel {
+        id: usize,
+    },
+    BadLaunchConfig {
+        kernel: String,
+        grid: u32,
+        block: u32,
+        reason: &'static str,
+    },
+    NestingTooDeep {
+        depth: u32,
+        limit: u32,
+    },
+    KernelExecLimit {
+        limit: usize,
+    },
     /// Raised by kernel bodies (e.g. the IR interpreter) for program errors.
-    KernelFault { kernel: String, message: String },
+    KernelFault {
+        kernel: String,
+        message: String,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -100,12 +131,7 @@ mod tests {
 
     #[test]
     fn errors_render_with_context() {
-        let e = SimError::OutOfBounds {
-            array: "dist".into(),
-            handle: 3,
-            index: 10,
-            len: 8,
-        };
+        let e = SimError::OutOfBounds { array: "dist".into(), handle: 3, index: 10, len: 8 };
         let s = e.to_string();
         assert!(s.contains("dist") && s.contains("10") && s.contains('8'));
         let e = SimError::NestingTooDeep { depth: 25, limit: 24 };

@@ -1,0 +1,150 @@
+//! Deterministic results cache for tuning sweeps.
+//!
+//! Keyed by an FNV-1a hash of everything that determines a sweep's outcome:
+//! app identity + dataset fingerprint, the device description (including its
+//! cost model), the run configuration, the knob space, and the search budget.
+//! Two layers: a process-wide in-memory map, and an optional on-disk
+//! directory (one file per key, written atomically) so repeated `--tune`
+//! invocations across processes are O(1). Entries store the byte-exact
+//! [`TuneReport::to_text`] form; a hit reparses it, so a cached report is
+//! guaranteed identical to what the original sweep produced.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, OnceLock};
+
+use crate::report::TuneReport;
+
+/// FNV-1a over a byte stream — stable across platforms and Rust versions
+/// (unlike `DefaultHasher`, which is not guaranteed), so cache keys written
+/// by one build are valid for the next.
+#[derive(Debug, Clone)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    pub fn new() -> Fnv64 {
+        Fnv64(0xcbf29ce484222325)
+    }
+
+    pub fn write(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+        self
+    }
+
+    pub fn write_str(&mut self, s: &str) -> &mut Self {
+        self.write(s.as_bytes()).write(&[0xFF])
+    }
+
+    pub fn write_u64(&mut self, v: u64) -> &mut Self {
+        self.write(&v.to_le_bytes())
+    }
+
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+/// Hash a whole byte slice in one go.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    Fnv64::new().write(bytes).finish()
+}
+
+fn memory() -> &'static Mutex<HashMap<u64, String>> {
+    static MEM: OnceLock<Mutex<HashMap<u64, String>>> = OnceLock::new();
+    MEM.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// The two-layer cache handle. `dir: None` disables the disk layer.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    pub dir: Option<PathBuf>,
+}
+
+impl Cache {
+    pub fn new(dir: Option<PathBuf>) -> Cache {
+        Cache { dir }
+    }
+
+    /// A disk-backed cache in the platform temp directory (shared across
+    /// processes on the same machine).
+    pub fn in_temp_dir() -> Cache {
+        Cache::new(Some(std::env::temp_dir().join("dpcons-tune-cache")))
+    }
+
+    fn path_for(dir: &Path, key: u64) -> PathBuf {
+        dir.join(format!("{key:016x}.tune"))
+    }
+
+    /// Look a key up (memory first, then disk). Corrupt or unparseable disk
+    /// entries are treated as misses.
+    pub fn get(&self, key: u64) -> Option<TuneReport> {
+        if let Some(text) = memory().lock().expect("cache poisoned").get(&key) {
+            if let Ok(r) = TuneReport::from_text(text) {
+                return Some(r);
+            }
+        }
+        let dir = self.dir.as_ref()?;
+        let text = std::fs::read_to_string(Self::path_for(dir, key)).ok()?;
+        match TuneReport::from_text(&text) {
+            Ok(r) => {
+                memory().lock().expect("cache poisoned").insert(key, text);
+                Some(r)
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Store a report under its key. Disk writes are atomic (tmp + rename);
+    /// I/O errors are swallowed — the cache is an accelerator, not a
+    /// correctness dependency.
+    pub fn put(&self, key: u64, report: &TuneReport) {
+        let text = report.to_text();
+        memory().lock().expect("cache poisoned").insert(key, text.clone());
+        if let Some(dir) = &self.dir {
+            if std::fs::create_dir_all(dir).is_ok() {
+                let tmp = dir.join(format!(".{key:016x}.{}.tmp", std::process::id()));
+                if std::fs::write(&tmp, &text).is_ok() {
+                    let _ = std::fs::rename(&tmp, Self::path_for(dir, key));
+                }
+            }
+        }
+    }
+
+    /// Drop the in-memory layer (tests use this to force disk round trips).
+    pub fn clear_memory() {
+        memory().lock().expect("cache poisoned").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_stable_and_sensitive() {
+        // Reference FNV-1a vectors.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_ne!(fnv1a(b"ab"), fnv1a(b"ba"));
+        let mut h = Fnv64::new();
+        h.write_str("x").write_u64(9);
+        let mut h2 = Fnv64::new();
+        h2.write_str("x").write_u64(9);
+        assert_eq!(h.finish(), h2.finish());
+        // Field separation: ("ab","c") != ("a","bc").
+        let mut a = Fnv64::new();
+        a.write_str("ab").write_str("c");
+        let mut b = Fnv64::new();
+        b.write_str("a").write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -1,0 +1,54 @@
+//! # dpcons-tune — parallel autotuning of `#pragma dp` directive knobs
+//!
+//! The paper's directive (Table I / Section IV.D) exposes real tuning knobs —
+//! consolidation granularity (`warp`/`block`/`grid`), buffer allocator
+//! (`default`/`halloc`/`custom`), `perBufferSize`, and the consolidated
+//! kernel's `threads`/`blocks` — and its Figures 5–6 are ablations over
+//! exactly this space. This crate turns those ablations into a subsystem:
+//! given a benchmark's annotated basic-dp module and dataset, it finds the
+//! best directive automatically.
+//!
+//! Sweep pipeline ([`tune`]):
+//!
+//! 1. **Enumerate** — [`dpcons_core::KnobSpace`] ×
+//!    [`dpcons_core::Directive::enumerate`] over the app's hand-written base
+//!    directives (exposed via [`dpcons_apps::TuneModel`]), collapsing
+//!    grid-level duplicates (buffer knobs do not reach grid-level codegen).
+//! 2. **Prune** ([`prune_reason`]) — reject statically-infeasible points
+//!    with the compiler's own analyses: template/child-class compatibility
+//!    (`dpcons_core::analyze`), SM-residency limits
+//!    (`dpcons_core::occupancy`), and device-heap capacity. Pruning is
+//!    conservative: a pruned candidate is guaranteed to fail if evaluated
+//!    (property-tested in `tests/`).
+//! 3. **Evaluate** — surviving candidates run end to end against
+//!    `dpcons-sim`'s cycle model in parallel ([`par::parallel_map`]; scoped
+//!    std threads — the environment has no `rayon`), in fixed-size waves so
+//!    the optional [`Budget`] (evaluation cap + no-improvement patience)
+//!    stops deterministically on every machine. Candidates whose output
+//!    diverges from the CPU oracle are never ranked.
+//! 4. **Rank & cache** — the [`TuneReport`] lists every candidate with its
+//!    metrics and names the winner; it is stored in a deterministic
+//!    two-layer [`Cache`] keyed by (app, dataset fingerprint, device
+//!    description, knob space, budget), so repeated sweeps are O(1) and
+//!    byte-identical.
+//!
+//! End-to-end integration: `dpcons_apps::Variant::ConsolidatedTuned` runs a
+//! benchmark under tuned knobs ([`run_tuned`] searches then launches),
+//! `reproduce --tune` sweeps all seven apps and reports tuned-vs-default
+//! speedups, and `examples/autotune.rs` demonstrates the flow.
+
+pub mod cache;
+pub mod knobs;
+pub mod par;
+pub mod report;
+pub mod tuner;
+
+pub use cache::{fnv1a, Cache, Fnv64};
+pub use knobs::Knobs;
+pub use par::parallel_map;
+pub use report::{CandidateOutcome, Metrics, Status, TuneReport};
+pub use tuner::{
+    candidate_config, default_knobs, enumerate_candidates, evaluate_candidate, fingerprint,
+    materialize_directive, prune_reason, run_tuned, tune, Budget, TuneError, TuneOptions,
+    WAVE_SIZE,
+};

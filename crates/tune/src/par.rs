@@ -1,0 +1,67 @@
+//! Scoped-thread fork/join helper.
+//!
+//! The build environment is offline, so `rayon` is unavailable; this module
+//! provides the only parallel primitive the tuner (and the bench harness)
+//! needs: run a batch of independent closures across the machine's cores and
+//! collect the results *in submission order*, so downstream selection stays
+//! deterministic regardless of scheduling.
+
+use std::sync::Mutex;
+
+/// Run `jobs` on up to `available_parallelism` scoped threads, preserving
+/// result order. Panics in a job propagate to the caller.
+pub fn parallel_map<T, F>(jobs: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = jobs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n).max(1);
+    if workers == 1 {
+        return jobs.into_iter().map(|f| f()).collect();
+    }
+    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    // LIFO over a reversed list = FIFO by original index.
+    let queue: Mutex<Vec<(usize, F)>> = Mutex::new(jobs.into_iter().enumerate().rev().collect());
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let job = queue.lock().expect("queue poisoned").pop();
+                match job {
+                    Some((idx, f)) => {
+                        let r = f();
+                        results.lock().expect("results poisoned")[idx] = Some(r);
+                    }
+                    None => break,
+                }
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("results poisoned")
+        .into_iter()
+        .map(|r| r.expect("job ran"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_runs_everything() {
+        let jobs: Vec<_> = (0..97).map(|i| move || i * 3).collect();
+        assert_eq!(parallel_map(jobs), (0..97).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_job_work() {
+        let none: Vec<Box<dyn FnOnce() -> i32 + Send>> = Vec::new();
+        assert!(parallel_map(none).is_empty());
+        assert_eq!(parallel_map(vec![|| 41 + 1]), vec![42]);
+    }
+}

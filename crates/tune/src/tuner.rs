@@ -1,0 +1,430 @@
+//! The directive autotuning search.
+//!
+//! Pipeline per sweep: enumerate the knob space from the app's base
+//! directives → collapse redundant grid-level combinations → prune
+//! infeasible points with the compiler's own static analyses → evaluate the
+//! survivors in parallel against the simulator's cycle model, in
+//! deterministic waves with an optional search budget → rank by cycles among
+//! oracle-exact runs → cache the report.
+
+use std::collections::HashSet;
+
+use dpcons_apps::{Benchmark, RunConfig, TuneModel, TunedDirective, Variant};
+use dpcons_core::{
+    analyze, max_blocks_per_sm, ConfigPolicy, Granularity, KernelResources, KnobSpace,
+};
+use dpcons_sim::AllocKind;
+
+use crate::cache::{Cache, Fnv64};
+use crate::knobs::Knobs;
+use crate::par::parallel_map;
+use crate::report::{CandidateOutcome, Metrics, Status, TuneReport};
+
+/// Candidates evaluated per deterministic wave. Fixed (not tied to the core
+/// count) so that budget-driven early stopping is machine-independent.
+pub const WAVE_SIZE: usize = 16;
+
+/// Version salt folded into every cache key, together with the crate
+/// version. **Bump this whenever simulator timing or consolidation codegen
+/// changes behaviorally** — the on-disk cache outlives builds, and a stale
+/// entry would otherwise report pre-change cycles as current.
+pub const CACHE_SCHEMA: u32 = 1;
+
+/// Search budget: caps and early stopping for large knob grids. The paper's
+/// per-granularity default candidates are always evaluated (they are ordered
+/// first and exempt from the cap), so a budgeted sweep can never do worse
+/// than the hand-written directive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Budget {
+    /// Stop after this many evaluations (`None` = unbounded).
+    pub max_evals: Option<usize>,
+    /// Stop after this many consecutive waves without an improvement
+    /// (`None` = never stop early).
+    pub patience: Option<usize>,
+}
+
+/// Everything configuring one sweep.
+#[derive(Debug, Clone)]
+pub struct TuneOptions {
+    /// Base run configuration (device, threshold, heap sizes). The
+    /// `alloc`/`policy`/`tuned` fields are overridden per candidate.
+    pub base: RunConfig,
+    pub space: KnobSpace,
+    pub budget: Budget,
+    /// Also measure the `no-dp` and `basic-dp` baselines for the report.
+    pub with_baselines: bool,
+    /// Results cache; `None` disables caching entirely.
+    pub cache: Option<Cache>,
+}
+
+impl Default for TuneOptions {
+    fn default() -> Self {
+        TuneOptions {
+            base: RunConfig::default(),
+            space: KnobSpace::quick(dpcons_sim::GpuConfig::k20c().num_sms),
+            budget: Budget::default(),
+            with_baselines: true,
+            cache: Some(Cache::in_temp_dir()),
+        }
+    }
+}
+
+/// Errors surfaced by the tuner itself (candidate-level failures are data,
+/// recorded in the report, not errors).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TuneError {
+    /// The app exposes no [`TuneModel`].
+    NotTunable { app: String },
+    /// The knob space enumerates to nothing.
+    EmptySpace,
+    /// Every candidate was pruned, failed, or corrupted its output.
+    NoFeasibleCandidate { app: String },
+}
+
+impl std::fmt::Display for TuneError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TuneError::NotTunable { app } => {
+                write!(f, "benchmark `{app}` exposes no tuning model")
+            }
+            TuneError::EmptySpace => write!(f, "the knob space is empty"),
+            TuneError::NoFeasibleCandidate { app } => {
+                write!(f, "no feasible directive candidate found for `{app}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TuneError {}
+
+/// Hash of the app's oracle output: identifies (app, dataset) pairs without
+/// any per-app plumbing, since the oracle is a deterministic function of the
+/// dataset.
+pub fn fingerprint(app: &dyn Benchmark) -> u64 {
+    let r = app.reference();
+    let mut h = Fnv64::new();
+    h.write_str(app.name());
+    h.write_u64(r.len() as u64);
+    for v in r {
+        h.write_u64(v as u64);
+    }
+    h.finish()
+}
+
+/// The knob coordinates of the app's hand-written directive at `g`.
+pub fn default_knobs(model: &TuneModel, g: Granularity) -> Knobs {
+    Knobs::from_directive(&(model.directive)(g))
+}
+
+/// Enumerate the candidate list in deterministic search order. Grid-level
+/// combinations that differ only in buffer allocator or per-buffer size are
+/// collapsed onto one canonical candidate (neither knob reaches grid-level
+/// codegen: the buffer is the host-provided pool), and the paper-default
+/// candidates are moved to the front so budgeted sweeps always cover them.
+/// Returns the candidates plus the number of collapsed duplicates.
+pub fn enumerate_candidates(model: &TuneModel, space: &KnobSpace) -> (Vec<Knobs>, usize) {
+    let mut seen: HashSet<Knobs> = HashSet::new();
+    let mut out: Vec<Knobs> = Vec::new();
+    let mut collapsed = 0usize;
+    for &g in &space.granularities {
+        let base = (model.directive)(g);
+        let sub = KnobSpace { granularities: vec![g], ..space.clone() };
+        for d in base.enumerate(&sub) {
+            let mut k = Knobs::from_directive(&d);
+            if g == Granularity::Grid {
+                k.alloc = AllocKind::PreAlloc;
+                k.per_buffer_size = Knobs::from_directive(&base).per_buffer_size;
+            }
+            if seen.insert(k) {
+                out.push(k);
+            } else {
+                collapsed += 1;
+            }
+        }
+    }
+    let defaults: Vec<Knobs> =
+        space.granularities.iter().map(|&g| default_knobs(model, g)).collect();
+    out.sort_by_key(|k| usize::from(!defaults.contains(k)));
+    (out, collapsed)
+}
+
+/// Static feasibility check; `Some(reason)` means the candidate cannot run.
+///
+/// Every predicate is conservative — a pruned candidate is *guaranteed* to
+/// fail when evaluated (compiler rejection, launch-config rejection, or heap
+/// exhaustion), which `crates/tune/tests/` verifies by force-evaluating
+/// pruned points.
+pub fn prune_reason(model: &TuneModel, cfg: &RunConfig, k: &Knobs) -> Option<String> {
+    let dir = materialize_directive(model, k);
+    // (a) template/analysis feasibility for this granularity (e.g. warp-level
+    // consolidation of a kernel that device-synchronizes is rejected).
+    let analysis = match analyze(&model.module_dp, model.parent, &dir) {
+        Ok(a) => a,
+        Err(e) => return Some(format!("analysis: {e}")),
+    };
+    // (b) launch-configuration limits of the consolidated kernel.
+    if let Some((_, t)) = k.config {
+        if t > cfg.gpu.max_threads_per_block {
+            return Some(format!(
+                "occupancy: block dimension {t} exceeds device limit {}",
+                cfg.gpu.max_threads_per_block
+            ));
+        }
+        let child = model
+            .module_dp
+            .get(&analysis.launch.target)
+            .expect("analysis resolved the child kernel");
+        let res = KernelResources {
+            regs_per_thread: child.regs_per_thread,
+            shared_bytes: child.shared_bytes,
+        };
+        if max_blocks_per_sm(&cfg.gpu, t, res) == 0 {
+            return Some(format!(
+                "occupancy: no SM can host a {t}-thread block of `{}`",
+                analysis.launch.target
+            ));
+        }
+    }
+    // (c) heap capacity: a single warp/block consolidation buffer larger than
+    // the device heap can never be allocated. (Grid level uses the
+    // host-provided pool, not the device heap.)
+    if k.granularity != Granularity::Grid {
+        if let Some(n) = k.per_buffer_size {
+            let nv = analysis.launch.buffered.len() as u64;
+            let words = 1 + n * nv;
+            if words > cfg.heap_words {
+                return Some(format!(
+                    "heap: one {words}-word buffer exceeds the {}-word device heap",
+                    cfg.heap_words
+                ));
+            }
+        }
+    }
+    None
+}
+
+/// The full [`dpcons_core::Directive`] a knob point stands for (the app's
+/// base directive at that granularity with the knob overrides applied) —
+/// useful for printing the winning pragma.
+pub fn materialize_directive(model: &TuneModel, k: &Knobs) -> dpcons_core::Directive {
+    let mut d = (model.directive)(k.granularity);
+    d = d.with_per_buffer_size(k.per_buffer_size);
+    d = d.with_buffer(match k.alloc {
+        AllocKind::Default => dpcons_core::BufferKind::Default,
+        AllocKind::Halloc => dpcons_core::BufferKind::Halloc,
+        AllocKind::PreAlloc => dpcons_core::BufferKind::Custom,
+    });
+    d
+}
+
+/// The run configuration a candidate evaluates under.
+pub fn candidate_config(base: &RunConfig, k: &Knobs) -> RunConfig {
+    RunConfig {
+        alloc: k.alloc,
+        policy: k.config.map(|(b, t)| ConfigPolicy::Custom(b, t)).or(base.policy),
+        tuned: Some(TunedDirective {
+            granularity: k.granularity,
+            per_buffer_size: k.per_buffer_size,
+        }),
+        ..base.clone()
+    }
+}
+
+/// Run one candidate end to end and score it. Public so tests can
+/// force-evaluate pruned candidates.
+pub fn evaluate_candidate(
+    app: &dyn Benchmark,
+    base: &RunConfig,
+    k: &Knobs,
+    expected: &[i64],
+) -> Status {
+    let cfg = candidate_config(base, k);
+    match app.run(Variant::ConsolidatedTuned, &cfg) {
+        Ok(out) => Status::Evaluated(Metrics {
+            cycles: out.report.total_cycles,
+            device_launches: out.report.device_launches,
+            warp_exec_efficiency: out.report.warp_exec_efficiency,
+            achieved_occupancy: out.report.achieved_occupancy,
+            output_ok: out.output == expected,
+        }),
+        Err(e) => Status::Failed(e.to_string()),
+    }
+}
+
+fn cache_key(
+    app: &str,
+    fp: u64,
+    cfg: &RunConfig,
+    space: &KnobSpace,
+    budget: &Budget,
+    with_baselines: bool,
+) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_str("dpcons-tune-key");
+    h.write_u64(CACHE_SCHEMA as u64);
+    h.write_str(env!("CARGO_PKG_VERSION"));
+    h.write_str(app);
+    h.write_u64(fp);
+    h.write_str(&format!("{:?}", cfg.gpu));
+    h.write_str(&format!("{:?}", cfg.alloc));
+    h.write_str(&format!("{:?}", cfg.policy));
+    h.write_u64(cfg.threshold as u64);
+    h.write_u64(cfg.heap_words);
+    h.write_u64(cfg.pool_words);
+    h.write_str(&format!("{space:?}"));
+    h.write_str(&format!("{budget:?}"));
+    h.write(&[u8::from(with_baselines)]);
+    h.finish()
+}
+
+/// Run (or fetch from cache) a full tuning sweep for `app`.
+pub fn tune(app: &dyn Benchmark, opts: &TuneOptions) -> Result<TuneReport, TuneError> {
+    let model =
+        app.tune_model().ok_or_else(|| TuneError::NotTunable { app: app.name().to_string() })?;
+    if opts.space.is_empty() || opts.space.granularities.is_empty() {
+        return Err(TuneError::EmptySpace);
+    }
+
+    let fp = fingerprint(app);
+    let key = cache_key(app.name(), fp, &opts.base, &opts.space, &opts.budget, opts.with_baselines);
+    if let Some(cache) = &opts.cache {
+        if let Some(hit) = cache.get(key) {
+            return Ok(hit);
+        }
+    }
+
+    let (cands, collapsed) = enumerate_candidates(&model, &opts.space);
+    let expected = app.reference();
+
+    // Static pruning.
+    let mut statuses: Vec<Option<Status>> =
+        cands.iter().map(|k| prune_reason(&model, &opts.base, k).map(Status::Pruned)).collect();
+    let eval_idx: Vec<usize> = (0..cands.len()).filter(|&i| statuses[i].is_none()).collect();
+
+    // Baselines. A failed baseline run is omitted from the report (never
+    // recorded as a fake cycle count); `TuneReport::baseline` then returns
+    // `None` for it.
+    let baselines: Vec<(String, u64)> = if opts.with_baselines {
+        let jobs: Vec<_> = [Variant::Flat, Variant::BasicDp]
+            .into_iter()
+            .map(|v| {
+                let base = opts.base.clone();
+                move || app.run(v, &base).ok().map(|o| (v.label(), o.report.total_cycles))
+            })
+            .collect();
+        parallel_map(jobs).into_iter().flatten().collect()
+    } else {
+        Vec::new()
+    };
+
+    // The paper defaults are ordered first and always evaluated, so a budget
+    // can never leave the sweep worse than the hand-written directive.
+    let n_defaults = eval_idx
+        .iter()
+        .take_while(|&&i| {
+            opts.space.granularities.iter().any(|&g| default_knobs(&model, g) == cands[i])
+        })
+        .count();
+    let max_evals = opts.budget.max_evals.map(|m| m.max(n_defaults)).unwrap_or(usize::MAX);
+
+    let mut best: Option<(u64, usize)> = None;
+    let mut evaluated = 0usize;
+    let mut stale_waves = 0usize;
+    let mut pos = 0usize;
+    while pos < eval_idx.len() {
+        let room = max_evals.saturating_sub(evaluated);
+        if room == 0 {
+            break;
+        }
+        let end = (pos + WAVE_SIZE.min(room)).min(eval_idx.len());
+        let batch = &eval_idx[pos..end];
+        let jobs: Vec<_> = batch
+            .iter()
+            .map(|&i| {
+                let k = cands[i];
+                let base = &opts.base;
+                let expected = &expected;
+                move || evaluate_candidate(app, base, &k, expected)
+            })
+            .collect();
+        let results = parallel_map(jobs);
+        let mut improved = false;
+        for (&i, st) in batch.iter().zip(results) {
+            if let Status::Evaluated(m) = &st {
+                if m.output_ok {
+                    let entry = (m.cycles, i);
+                    if best.is_none_or(|b| entry < b) {
+                        best = Some(entry);
+                        improved = true;
+                    }
+                }
+            }
+            statuses[i] = Some(st);
+            evaluated += 1;
+        }
+        pos = end;
+        if let Some(p) = opts.budget.patience {
+            if improved {
+                stale_waves = 0;
+            } else {
+                stale_waves += 1;
+                if stale_waves >= p && best.is_some() {
+                    break;
+                }
+            }
+        }
+    }
+    // Whatever was not reached is recorded as skipped.
+    for &i in &eval_idx {
+        if statuses[i].is_none() {
+            statuses[i] = Some(Status::Skipped);
+        }
+    }
+
+    let candidates: Vec<CandidateOutcome> = cands
+        .into_iter()
+        .zip(statuses)
+        .map(|(knobs, status)| CandidateOutcome {
+            knobs,
+            status: status.expect("every candidate has a status"),
+        })
+        .collect();
+    let count = |f: fn(&Status) -> bool| candidates.iter().filter(|c| f(&c.status)).count();
+    let report = TuneReport {
+        app: app.name().to_string(),
+        gpu: opts.base.gpu.name.clone(),
+        fingerprint: fp,
+        key,
+        baselines,
+        best: best.map(|(_, i)| i),
+        evaluated: count(|s| matches!(s, Status::Evaluated(_))),
+        pruned: count(|s| matches!(s, Status::Pruned(_))),
+        failed: count(|s| matches!(s, Status::Failed(_))),
+        skipped: count(|s| matches!(s, Status::Skipped)),
+        collapsed,
+        from_cache: false,
+        candidates,
+    };
+    if let Some(cache) = &opts.cache {
+        cache.put(key, &report);
+    }
+    Ok(report)
+}
+
+/// Tune, then run the app once under the winning knobs, returning the tuned
+/// outcome alongside the report. This is the `Variant::ConsolidatedTuned`
+/// end-to-end path: search first, launch with the winner.
+pub fn run_tuned(
+    app: &dyn Benchmark,
+    opts: &TuneOptions,
+) -> Result<(TuneReport, dpcons_apps::AppOutcome), TuneError> {
+    let report = tune(app, opts)?;
+    let knobs = report
+        .best_knobs()
+        .ok_or_else(|| TuneError::NoFeasibleCandidate { app: app.name().to_string() })?;
+    let cfg = candidate_config(&opts.base, &knobs);
+    let out = app
+        .run(Variant::ConsolidatedTuned, &cfg)
+        .expect("winning candidate was evaluated successfully");
+    Ok((report, out))
+}

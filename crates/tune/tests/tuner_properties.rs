@@ -1,0 +1,210 @@
+//! Property-style tests for the autotuner (ISSUE 1 satellite):
+//!
+//! * **determinism** — same inputs produce byte-identical `TuneReport`s,
+//!   including under a budget (early stopping is machine-independent);
+//! * **cache-hit equivalence** — a cached result equals a fresh search,
+//!   through both the in-memory and the on-disk layer;
+//! * **pruning soundness** — no pruned candidate would have been feasible:
+//!   force-evaluating every pruned point fails.
+
+use dpcons_apps::{datasets, Benchmark, Profile, RunConfig, Sssp, TreeDescendants};
+use dpcons_core::{consolidate, BufferKind, Granularity, KnobSpace};
+use dpcons_sim::AllocKind;
+use dpcons_tune::{
+    default_knobs, enumerate_candidates, evaluate_candidate, prune_reason, tune, Budget, Cache,
+    Knobs, Status, TuneOptions,
+};
+
+fn sssp() -> Sssp {
+    Sssp::new(datasets::citeseer(Profile::Test).with_weights(15, 0xD15), 0)
+}
+
+fn tiny_space() -> KnobSpace {
+    KnobSpace {
+        granularities: Granularity::ALL.to_vec(),
+        buffers: vec![BufferKind::Custom, BufferKind::Halloc],
+        per_buffer_sizes: vec![None],
+        configs: vec![None, Some((13, 64))],
+    }
+}
+
+fn opts(space: KnobSpace) -> TuneOptions {
+    TuneOptions {
+        base: RunConfig::default(),
+        space,
+        budget: Budget::default(),
+        with_baselines: false,
+        cache: None,
+    }
+}
+
+#[test]
+fn same_inputs_produce_identical_reports() {
+    let app = sssp();
+    let o = opts(tiny_space());
+    let a = tune(&app, &o).unwrap();
+    let b = tune(&app, &o).unwrap();
+    assert_eq!(a, b);
+    assert_eq!(a.to_text(), b.to_text(), "serialized forms are byte-identical");
+    assert!(a.best.is_some());
+    assert!(!a.from_cache && !b.from_cache);
+}
+
+#[test]
+fn budgeted_search_is_deterministic_and_never_worse_than_defaults() {
+    let app = sssp();
+    let mut o = opts(KnobSpace::quick(13));
+    o.budget = Budget { max_evals: Some(6), patience: Some(1) };
+    let a = tune(&app, &o).unwrap();
+    let b = tune(&app, &o).unwrap();
+    assert_eq!(a, b);
+    assert!(a.skipped > 0, "the budget should leave part of the quick space unvisited");
+    // The paper defaults are always evaluated, so best <= every default.
+    let model = app.tune_model().unwrap();
+    let best = a.best_cycles().expect("budgeted sweep still finds a winner");
+    for g in Granularity::ALL {
+        let d = a
+            .cycles_for(&default_knobs(&model, g))
+            .unwrap_or_else(|| panic!("{}-level default not evaluated", g.label()));
+        assert!(best <= d, "best {best} worse than {}-level default {d}", g.label());
+    }
+}
+
+#[test]
+fn cache_hit_equals_fresh_search_across_both_layers() {
+    let app = sssp();
+    let dir = std::env::temp_dir().join(format!("dpcons-tune-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut o = opts(tiny_space());
+    o.cache = Some(Cache::new(Some(dir.clone())));
+
+    let fresh = tune(&app, &o).unwrap();
+    assert!(!fresh.from_cache);
+
+    // Memory-layer hit.
+    let warm = tune(&app, &o).unwrap();
+    assert!(warm.from_cache);
+    assert_eq!(warm, fresh);
+
+    // Disk-layer hit (simulates a second process).
+    Cache::clear_memory();
+    let cold = tune(&app, &o).unwrap();
+    assert!(cold.from_cache);
+    assert_eq!(cold, fresh);
+    assert_eq!(cold.to_text(), fresh.to_text());
+
+    // A different dataset must miss: same options, different graph.
+    Cache::clear_memory();
+    let other = Sssp::new(datasets::citeseer(Profile::Test).with_weights(15, 0xBEEF), 0);
+    let miss = tune(&other, &o).unwrap();
+    assert!(!miss.from_cache);
+    assert_ne!(miss.fingerprint, fresh.fingerprint);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn pruned_candidates_are_never_feasible() {
+    // A space salted with statically-infeasible points: an oversized block
+    // configuration and a per-buffer size beyond the device heap.
+    let app = sssp();
+    let base = RunConfig { heap_words: 1 << 16, ..RunConfig::default() };
+    let space = KnobSpace {
+        granularities: Granularity::ALL.to_vec(),
+        buffers: vec![BufferKind::Custom],
+        per_buffer_sizes: vec![None, Some(1 << 20)],
+        configs: vec![None, Some((13, 2048))],
+    };
+    let o = TuneOptions {
+        base: base.clone(),
+        space,
+        budget: Budget::default(),
+        with_baselines: false,
+        cache: None,
+    };
+    let report = tune(&app, &o).unwrap();
+    assert!(report.pruned > 0, "the salted space must trigger pruning");
+    assert!(report.best.is_some(), "feasible points remain");
+
+    let expected = app.reference();
+    for c in &report.candidates {
+        if let Status::Pruned(reason) = &c.status {
+            let st = evaluate_candidate(&app, &base, &c.knobs, &expected);
+            assert!(
+                matches!(st, Status::Failed(_)),
+                "pruned candidate {} (reason: {reason}) evaluated to {st:?} — prune is unsound",
+                c.knobs.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn analysis_prune_matches_the_compiler_rejection() {
+    // Warp-level consolidation of a parent that device-synchronizes is
+    // rejected by `analyze`; the pruner must report it and `consolidate`
+    // (what evaluation would run) must fail identically. Built synthetically
+    // since none of the seven apps' parents use cudaDeviceSynchronize.
+    use dpcons_apps::TuneModel;
+    use dpcons_core::Directive;
+    use dpcons_ir::dsl::*;
+    use dpcons_ir::Module;
+
+    fn module() -> Module {
+        let mut m = Module::new();
+        m.add(KernelBuilder::new("child").array("d").scalar("w").body(vec![for_step(
+            "j",
+            tid(),
+            load(v("d"), v("w")),
+            ntid(),
+            vec![compute(i(1))],
+        )]));
+        m.add(KernelBuilder::new("parent").array("d").scalar("n").body(vec![
+            let_("u", gtid()),
+            when(lt(v("u"), v("n")), vec![launch("child", i(1), i(64), vec![v("d"), v("u")])]),
+            dpcons_ir::Stmt::DeviceSync,
+        ]));
+        m
+    }
+    fn directive(g: Granularity) -> Directive {
+        Directive::new(g, &["u"])
+    }
+    let model = TuneModel { module_dp: module(), parent: "parent", directive };
+    let cfg = RunConfig::default();
+    let warp = Knobs {
+        granularity: Granularity::Warp,
+        alloc: AllocKind::PreAlloc,
+        per_buffer_size: None,
+        config: None,
+    };
+    let reason = prune_reason(&model, &cfg, &warp).expect("warp x device-sync must be pruned");
+    assert!(reason.contains("analysis"), "unexpected reason: {reason}");
+    let dir = directive(Granularity::Warp);
+    assert!(
+        consolidate(&model.module_dp, "parent", &dir, &cfg.gpu, None).is_err(),
+        "the compiler must reject exactly what the pruner pruned"
+    );
+    // Grid level is fine for the same kernel.
+    let grid = Knobs { granularity: Granularity::Grid, ..warp };
+    assert!(prune_reason(&model, &cfg, &grid).is_none());
+}
+
+#[test]
+fn grid_level_duplicates_are_collapsed() {
+    let app = TreeDescendants::new(datasets::tree2(Profile::Test));
+    let model = app.tune_model().unwrap();
+    let space = KnobSpace {
+        granularities: vec![Granularity::Grid],
+        buffers: vec![BufferKind::Custom, BufferKind::Halloc, BufferKind::Default],
+        per_buffer_sizes: vec![None, Some(64), Some(256)],
+        configs: vec![None, Some((13, 128))],
+    };
+    let (cands, collapsed) = enumerate_candidates(&model, &space);
+    // 3 buffers x 3 sizes x 2 configs = 18 points, but only the config knob
+    // reaches grid-level codegen: 2 distinct candidates survive.
+    assert_eq!(cands.len(), 2);
+    assert_eq!(collapsed, 16);
+    for k in &cands {
+        assert_eq!(k.alloc, AllocKind::PreAlloc);
+    }
+}

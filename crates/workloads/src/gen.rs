@@ -9,26 +9,24 @@
 //! harness uses smaller scales to keep simulation times reasonable and
 //! records the scale in EXPERIMENTS.md).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use crate::graph::CsrGraph;
+use crate::rng::Rng64;
 
 /// Power-law citation-network-like graph ("CiteSeer-like"): most nodes have
 /// small outdegree, a heavy tail reaches `max_deg`.
 pub fn citeseer_like(n: usize, avg_deg: f64, max_deg: usize, seed: u64) -> CsrGraph {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let mut edges = Vec::with_capacity((n as f64 * avg_deg) as usize);
     // Bounded Pareto via inverse transform, tuned so the mean lands near
     // avg_deg: alpha chosen empirically for the 1..max_deg support.
     let alpha = 1.16f64;
     let xmin = (avg_deg * (alpha - 1.0) / alpha).max(1.0);
     for u in 0..n {
-        let uni: f64 = rng.gen_range(1e-9..1.0);
+        let uni: f64 = rng.range_f64(1e-9, 1.0);
         let d = (xmin * uni.powf(-1.0 / alpha)) as usize;
         let d = d.clamp(1, max_deg.min(n.saturating_sub(1)).max(1));
         for _ in 0..d {
-            let v = rng.gen_range(0..n) as u32;
+            let v = rng.range_usize(0, n) as u32;
             edges.push((u as u32, v));
         }
     }
@@ -39,7 +37,7 @@ pub fn citeseer_like(n: usize, avg_deg: f64, max_deg: usize, seed: u64) -> CsrGr
 pub fn kron_like(log_n: u32, avg_deg: f64, seed: u64) -> CsrGraph {
     let n = 1usize << log_n;
     let m = (n as f64 * avg_deg) as usize;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let (a, b, c) = (0.57f64, 0.19f64, 0.19f64);
     let mut edges = Vec::with_capacity(m);
     for _ in 0..m {
@@ -47,7 +45,7 @@ pub fn kron_like(log_n: u32, avg_deg: f64, seed: u64) -> CsrGraph {
         for _ in 0..log_n {
             u <<= 1;
             v <<= 1;
-            let r: f64 = rng.gen();
+            let r: f64 = rng.next_f64();
             if r < a {
                 // top-left quadrant
             } else if r < a + b {
@@ -66,11 +64,11 @@ pub fn kron_like(log_n: u32, avg_deg: f64, seed: u64) -> CsrGraph {
 
 /// Uniform random graph: every node has exactly `deg` random neighbors.
 pub fn uniform(n: usize, deg: usize, seed: u64) -> CsrGraph {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let mut edges = Vec::with_capacity(n * deg);
     for u in 0..n {
         for _ in 0..deg {
-            edges.push((u as u32, rng.gen_range(0..n) as u32));
+            edges.push((u as u32, rng.range_usize(0, n) as u32));
         }
     }
     CsrGraph::from_edges(n, &edges)

@@ -215,9 +215,8 @@ mod tests {
         // u -> u+1..u+4 (mod n): in-degree == out-degree == 4 everywhere, so
         // every node keeps exactly the same rank.
         let n = 100u32;
-        let edges: Vec<(u32, u32)> = (0..n)
-            .flat_map(|u| (1..=4).map(move |k| (u, (u + k) % n)))
-            .collect();
+        let edges: Vec<(u32, u32)> =
+            (0..n).flat_map(|u| (1..=4).map(move |k| (u, (u + k) % n))).collect();
         let g = CsrGraph::from_edges(n as usize, &edges);
         let r = pagerank(&g, 10, to_fixed(0.85));
         assert!(r.iter().all(|&x| x > 0));

@@ -8,8 +8,7 @@
 //! nodes, so the generators scale the fanout range while preserving the two
 //! distinguishing shapes (sparse-interior vs. dense-interior).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Rng64;
 
 /// A rooted tree: `child_ptr[v]..child_ptr[v+1]` indexes `children`.
 #[derive(Debug, Clone, PartialEq)]
@@ -45,7 +44,7 @@ impl TreeParams {
 
 /// Generate a tree breadth-first according to `params`.
 pub fn generate(params: TreeParams) -> Tree {
-    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut rng = Rng64::seed_from_u64(params.seed);
     // children lists per node, nodes numbered in BFS order.
     let mut kids: Vec<Vec<i64>> = vec![Vec::new()];
     let mut frontier = vec![0usize];
@@ -56,7 +55,7 @@ pub fn generate(params: TreeParams) -> Tree {
             if !has_children {
                 continue;
             }
-            let fanout = rng.gen_range(params.min_children..=params.max_children);
+            let fanout = rng.range_usize_incl(params.min_children, params.max_children);
             for _ in 0..fanout {
                 let id = kids.len();
                 kids.push(Vec::new());
@@ -159,7 +158,13 @@ mod tests {
 
     #[test]
     fn single_node_tree() {
-        let t = generate(TreeParams { depth: 0, min_children: 2, max_children: 3, fill_prob: 1.0, seed: 0 });
+        let t = generate(TreeParams {
+            depth: 0,
+            min_children: 2,
+            max_children: 3,
+            fill_prob: 1.0,
+            seed: 0,
+        });
         assert_eq!(t.n, 1);
         assert_eq!(t.height(), 0);
         assert_eq!(t.descendants(), 0);

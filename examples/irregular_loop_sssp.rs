@@ -28,9 +28,8 @@ fn main() {
     );
     let mut basic_cycles = 0u64;
     for variant in Variant::ALL {
-        let report = app
-            .verify(variant, &cfg)
-            .unwrap_or_else(|e| panic!("{} failed: {e}", variant.label()));
+        let report =
+            app.verify(variant, &cfg).unwrap_or_else(|e| panic!("{} failed: {e}", variant.label()));
         if variant == Variant::BasicDp {
             basic_cycles = report.total_cycles;
         }

@@ -12,40 +12,25 @@ use dpcons::sim::GpuConfig;
 
 fn sample_module() -> Module {
     let mut m = Module::new();
-    m.add(
-        KernelBuilder::new("process_node")
-            .array("adj")
-            .array("result")
-            .scalar("node")
-            .body(vec![for_step(
-                "j",
-                tid(),
-                load(v("adj"), v("node")),
-                ntid(),
-                vec![atomic_add(None, v("result"), v("node"), i(1))],
-            )]),
-    );
-    m.add(
-        KernelBuilder::new("traverse")
-            .array("adj")
-            .array("result")
-            .scalar("n")
-            .body(vec![
-                let_("node", gtid()),
-                when(
-                    lt(v("node"), v("n")),
-                    vec![when(
-                        gt(load(v("adj"), v("node")), i(32)),
-                        vec![launch(
-                            "process_node",
-                            i(1),
-                            i(128),
-                            vec![v("adj"), v("result"), v("node")],
-                        )],
-                    )],
-                ),
-            ]),
-    );
+    m.add(KernelBuilder::new("process_node").array("adj").array("result").scalar("node").body(
+        vec![for_step(
+            "j",
+            tid(),
+            load(v("adj"), v("node")),
+            ntid(),
+            vec![atomic_add(None, v("result"), v("node"), i(1))],
+        )],
+    ));
+    m.add(KernelBuilder::new("traverse").array("adj").array("result").scalar("n").body(vec![
+        let_("node", gtid()),
+        when(
+            lt(v("node"), v("n")),
+            vec![when(
+                gt(load(v("adj"), v("node")), i(32)),
+                vec![launch("process_node", i(1), i(128), vec![v("adj"), v("result"), v("node")])],
+            )],
+        ),
+    ]));
     m
 }
 

@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use dpcons::compiler::{consolidate, prepare_launch, reset_launch, Directive, Granularity};
+use dpcons::compiler::{consolidate, prepare_launch, reset_launch, Directive};
 use dpcons::ir::dsl::*;
 use dpcons::ir::{install, module_to_string, Module};
 use dpcons::sim::{AllocKind, Engine, GpuConfig, LaunchSpec};
@@ -16,26 +16,18 @@ fn main() {
     //    spawn a child kernel (the paper's Fig. 1 template).
     // -----------------------------------------------------------------
     let mut module = Module::new();
+    module.add(KernelBuilder::new("child").array("sizes").array("out").scalar("item").body(vec![
+        for_step(
+            "j",
+            tid(),
+            load(v("sizes"), v("item")),
+            ntid(),
+            vec![atomic_add(None, v("out"), v("item"), i(1))],
+        ),
+    ]));
     module.add(
-        KernelBuilder::new("child")
-            .array("sizes")
-            .array("out")
-            .scalar("item")
-            .body(vec![for_step(
-                "j",
-                tid(),
-                load(v("sizes"), v("item")),
-                ntid(),
-                vec![atomic_add(None, v("out"), v("item"), i(1))],
-            )]),
-    );
-    module.add(
-        KernelBuilder::new("parent")
-            .array("sizes")
-            .array("out")
-            .scalar("n")
-            .scalar("thr")
-            .body(vec![
+        KernelBuilder::new("parent").array("sizes").array("out").scalar("n").scalar("thr").body(
+            vec![
                 let_("id", gtid()),
                 when(
                     lt(v("id"), v("n")),
@@ -43,24 +35,29 @@ fn main() {
                         let_("sz", load(v("sizes"), v("id"))),
                         if_(
                             gt(v("sz"), v("thr")),
-                            vec![launch("child", i(1), i(128), vec![v("sizes"), v("out"), v("id")])],
-                            vec![for_("j", i(0), v("sz"), vec![atomic_add(
-                                None,
-                                v("out"),
-                                v("id"),
+                            vec![launch(
+                                "child",
                                 i(1),
-                            )])],
+                                i(128),
+                                vec![v("sizes"), v("out"), v("id")],
+                            )],
+                            vec![for_(
+                                "j",
+                                i(0),
+                                v("sz"),
+                                vec![atomic_add(None, v("out"), v("id"), i(1))],
+                            )],
                         ),
                     ],
                 ),
-            ]),
+            ],
+        ),
     );
 
     // -----------------------------------------------------------------
     // 2. Annotate with `#pragma dp` and run the consolidation compiler.
     // -----------------------------------------------------------------
-    let directive =
-        Directive::parse("#pragma dp consldt(block) buffer(custom) work(id)").unwrap();
+    let directive = Directive::parse("#pragma dp consldt(block) buffer(custom) work(id)").unwrap();
     let gpu = GpuConfig::k20c();
     let cons = consolidate(&module, "parent", &directive, &gpu, None).unwrap();
     println!("=== generated CUDA-like source ===\n");
@@ -80,9 +77,7 @@ fn main() {
         let args = vec![sizes_h as i64, out_h as i64, n as i64, 32];
         let config = ((n as u32).div_ceil(128), 128);
         let report = match consolidated {
-            None => e
-                .launch(LaunchSpec::new(ids["parent"], config.0, config.1, args))
-                .unwrap(),
+            None => e.launch(LaunchSpec::new(ids["parent"], config.0, config.1, args)).unwrap(),
             Some(c) => {
                 let mut prep =
                     prepare_launch(&mut e, &c.info, &ids, &args, config, 1 << 20).unwrap();

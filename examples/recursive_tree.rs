@@ -15,20 +15,29 @@ use dpcons::sim::GpuConfig;
 use dpcons::workloads::{generate_tree, TreeParams};
 
 fn main() {
+    // Fanout above the warp size (as in the paper's tree datasets), at a
+    // depth where the hand-written warp-level `perBufferSize` still bounds
+    // every level a single warp chain absorbs — one level deeper and the
+    // warp-level variant overflows its buffers and corrupts the count
+    // (`dpcons-tune` rejects such candidates by checking the oracle).
     let tree = generate_tree(TreeParams {
-        depth: 4,
+        depth: 3,
         min_children: 33,
         max_children: 48,
         fill_prob: 0.6,
         seed: 11,
     });
-    println!("tree: {} nodes, height {}, {} descendants of the root\n", tree.n, tree.height(), tree.descendants());
+    println!(
+        "tree: {} nodes, height {}, {} descendants of the root\n",
+        tree.n,
+        tree.height(),
+        tree.descendants()
+    );
 
     // Show the consolidated recursive kernel the compiler generates.
     let dir = TreeDescendants::directive(Granularity::Grid);
-    let cons =
-        consolidate(&TreeDescendants::module_dp(), "td_rec", &dir, &GpuConfig::k20c(), None)
-            .unwrap();
+    let cons = consolidate(&TreeDescendants::module_dp(), "td_rec", &dir, &GpuConfig::k20c(), None)
+        .unwrap();
     println!("=== grid-level consolidated recursive kernel ===\n");
     println!("{}", module_to_string(&cons.module));
 

@@ -20,4 +20,5 @@ pub use dpcons_apps as apps;
 pub use dpcons_core as compiler;
 pub use dpcons_ir as ir;
 pub use dpcons_sim as sim;
+pub use dpcons_tune as tune;
 pub use dpcons_workloads as workloads;

@@ -2,73 +2,84 @@
 //! variant must produce exactly the CPU oracle's output. This is the
 //! strongest statement about the consolidation transforms — they are
 //! semantics-preserving over the whole input space we can sample.
+//!
+//! The offline build has no `proptest`, so sampling is a hand-rolled
+//! deterministic sweep: parameters are drawn from a seeded [`Rng64`] stream,
+//! which keeps the suite reproducible (failures name the case seed).
 
 use dpcons::apps::{Benchmark, BfsRec, RunConfig, Spmv, Sssp, TreeDescendants, Variant};
+use dpcons::workloads::rng::Rng64;
 use dpcons::workloads::{gen, generate_tree, TreeParams};
-use proptest::prelude::*;
+
+const CASES: usize = 8;
 
 fn small_cfg() -> RunConfig {
     RunConfig { threshold: 8, ..Default::default() }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
-
-    #[test]
-    fn sssp_all_variants_equal_oracle(
-        n in 50usize..400,
-        avg in 2.0f64..12.0,
-        maxd in 20usize..120,
-        seed in any::<u64>(),
-    ) {
-        let g = gen::citeseer_like(n, avg, maxd, seed).with_weights(15, seed ^ 1);
-        let app = Sssp::new(g, 0);
-        let expected = app.reference();
-        for variant in Variant::ALL {
-            let out = app.run(variant, &small_cfg()).unwrap();
-            prop_assert_eq!(&out.output, &expected, "{} diverged", variant.label());
-        }
+fn check_all_variants(app: &dyn Benchmark, case: &str) {
+    let expected = app.reference();
+    for variant in Variant::ALL {
+        let out = app.run(variant, &small_cfg()).unwrap_or_else(|e| {
+            panic!("[{case}] {} ({}) failed: {e}", app.name(), variant.label())
+        });
+        assert_eq!(
+            out.output,
+            expected,
+            "[{case}] {} diverged from the oracle under {}",
+            app.name(),
+            variant.label()
+        );
     }
+}
 
-    #[test]
-    fn spmv_all_variants_equal_oracle(
-        n in 50usize..300,
-        avg in 2.0f64..10.0,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn sssp_all_variants_equal_oracle() {
+    let mut r = Rng64::seed_from_u64(0x55511);
+    for case in 0..CASES {
+        let n = r.range_usize(50, 400);
+        let avg = r.range_f64(2.0, 12.0);
+        let maxd = r.range_usize(20, 120);
+        let seed = r.next_u64();
+        let g = gen::citeseer_like(n, avg, maxd, seed).with_weights(15, seed ^ 1);
+        check_all_variants(&Sssp::new(g, 0), &format!("sssp case {case} seed {seed:#x}"));
+    }
+}
+
+#[test]
+fn spmv_all_variants_equal_oracle() {
+    let mut r = Rng64::seed_from_u64(0x59317);
+    for case in 0..CASES {
+        let n = r.range_usize(50, 300);
+        let avg = r.range_f64(2.0, 10.0);
+        let seed = r.next_u64();
         let m = gen::citeseer_like(n, avg, 80, seed).with_weights(1 << 18, seed ^ 2);
         let x = Spmv::default_x(n);
-        let app = Spmv::new(m, x);
-        let expected = app.reference();
-        for variant in Variant::ALL {
-            let out = app.run(variant, &small_cfg()).unwrap();
-            prop_assert_eq!(&out.output, &expected, "{} diverged", variant.label());
-        }
+        check_all_variants(&Spmv::new(m, x), &format!("spmv case {case} seed {seed:#x}"));
     }
+}
 
-    #[test]
-    fn bfs_all_variants_equal_oracle(
-        log_n in 6u32..9,
-        avg in 4.0f64..12.0,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn bfs_all_variants_equal_oracle() {
+    let mut r = Rng64::seed_from_u64(0xBF5);
+    for case in 0..CASES {
+        let log_n = r.range_usize(6, 9) as u32;
+        let avg = r.range_f64(4.0, 12.0);
+        let seed = r.next_u64();
         let g = gen::kron_like(log_n, avg, seed);
-        let app = BfsRec::new(g, 0);
-        let expected = app.reference();
-        for variant in Variant::ALL {
-            let out = app.run(variant, &small_cfg()).unwrap();
-            prop_assert_eq!(&out.output, &expected, "{} diverged", variant.label());
-        }
+        check_all_variants(&BfsRec::new(g, 0), &format!("bfs case {case} seed {seed:#x}"));
     }
+}
 
-    #[test]
-    fn tree_descendants_all_variants_equal_oracle(
-        depth in 1u32..5,
-        min_c in 2usize..5,
-        extra in 1usize..6,
-        fill in prop::sample::select(vec![0.4f64, 0.7, 1.0]),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn tree_descendants_all_variants_equal_oracle() {
+    let mut r = Rng64::seed_from_u64(0x7D35C);
+    for case in 0..CASES {
+        let depth = r.range_usize(1, 5) as u32;
+        let min_c = r.range_usize(2, 5);
+        let extra = r.range_usize(1, 6);
+        let fill = [0.4f64, 0.7, 1.0][r.range_usize(0, 3)];
+        let seed = r.next_u64();
         let t = generate_tree(TreeParams {
             depth,
             min_children: min_c,
@@ -76,11 +87,9 @@ proptest! {
             fill_prob: fill,
             seed,
         });
-        let app = TreeDescendants::new(t);
-        let expected = app.reference();
-        for variant in Variant::ALL {
-            let out = app.run(variant, &small_cfg()).unwrap();
-            prop_assert_eq!(&out.output, &expected, "{} diverged", variant.label());
-        }
+        check_all_variants(
+            &TreeDescendants::new(t),
+            &format!("tree-descendants case {case} seed {seed:#x}"),
+        );
     }
 }
