@@ -31,7 +31,8 @@ pub use datasets::Profile;
 pub use graph_coloring::GraphColoring;
 pub use pagerank::PageRank;
 pub use runner::{
-    AppError, AppOutcome, Benchmark, RunConfig, TuneModel, TunedDirective, Variant, VariantSession,
+    AppError, AppOutcome, Benchmark, CaptureSet, RunConfig, TuneModel, TunedDirective, Variant,
+    VariantSession,
 };
 pub use spmv::Spmv;
 pub use sssp::Sssp;

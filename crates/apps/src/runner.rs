@@ -9,6 +9,7 @@
 //! host launches, and merging per-launch profiles.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use dpcons_core::{
     consolidate, prepare_launch, reset_launch, ConfigPolicy, Consolidated, Directive, Granularity,
@@ -16,7 +17,8 @@ use dpcons_core::{
 };
 use dpcons_ir::{install, IrError, Module};
 use dpcons_sim::{
-    AllocKind, ArrayId, Engine, GpuConfig, KernelId, LaunchSpec, ProfileReport, SimError,
+    AllocKind, ArrayId, Engine, ExecRecord, GpuConfig, KernelId, LaunchSpec, ProfileReport,
+    SimError,
 };
 
 /// Which implementation of a benchmark to run.
@@ -120,6 +122,12 @@ pub struct RunConfig {
     pub pool_words: u64,
     /// Autotuned directive knobs; required by [`Variant::ConsolidatedTuned`].
     pub tuned: Option<TunedDirective>,
+    /// Record the functional launch DAG of every host launch so the run can
+    /// be re-timed on other devices ([`AppOutcome::captures`]). The run's
+    /// own report is produced by replaying the capture on [`RunConfig::gpu`]
+    /// — bit-identical to a plain run, which
+    /// `crates/sim/tests/replay_differential.rs` pins.
+    pub capture: bool,
 }
 
 impl Default for RunConfig {
@@ -132,7 +140,63 @@ impl Default for RunConfig {
             heap_words: 1 << 26, // 512 MB, the paper's default pool size
             pool_words: 1 << 22,
             tuned: None,
+            capture: false,
         }
+    }
+}
+
+/// Functional capture of one whole app run: every host launch's
+/// [`ExecRecord`] DAG (in launch order) plus the capture engine's final
+/// allocator statistics. [`CaptureSet::replay_on`] re-prices the identical
+/// functional execution on another device without re-running any kernel —
+/// the substrate of the `dpcons-tune` device-fleet what-if sweep.
+#[derive(Debug)]
+pub struct CaptureSet {
+    /// Device the functional run executed on. Codegen (configuration
+    /// policies scale with SM count) and segment durations are baked in
+    /// against this device, so replay targets must share its warp size and
+    /// cost model (see [`Engine::replay_timing_on`]).
+    pub captured_on: GpuConfig,
+    /// One record DAG per host launch.
+    pub launches: Vec<Vec<ExecRecord>>,
+    /// Final allocator statistics of the capture engine. Timing replay never
+    /// produces these ([`Engine::replay_timing_on`] leaves them zero): they
+    /// are functional facts, identical on every replay device.
+    pub alloc_ops: u64,
+    pub alloc_cycles: u64,
+}
+
+impl CaptureSet {
+    /// Total kernels executed across all captured launches.
+    pub fn kernels_executed(&self) -> u64 {
+        self.launches.iter().map(|l| l.len() as u64).sum()
+    }
+
+    /// Whether `gpu` can validly re-time this capture (same warp size and
+    /// cost model as the capture device).
+    pub fn compatible_with(&self, gpu: &GpuConfig) -> bool {
+        gpu.warp_size == self.captured_on.warp_size && gpu.costs == self.captured_on.costs
+    }
+
+    /// Re-time the captured run on `gpu`: per-launch timing replays merged
+    /// exactly as the live runner merges per-launch profiles, with the
+    /// capture-time allocator statistics re-attached (replay itself leaves
+    /// them zero). Replaying on the capture device reproduces the original
+    /// run's [`AppOutcome::report`] bit for bit.
+    pub fn replay_on(&self, gpu: &GpuConfig) -> ProfileReport {
+        assert!(
+            self.compatible_with(gpu),
+            "device `{}` cannot replay a capture from `{}`: warp size or cost model differs",
+            gpu.name,
+            self.captured_on.name
+        );
+        let mut total = ProfileReport::default();
+        for records in &self.launches {
+            total.merge(&Engine::replay_timing_on(gpu, records));
+        }
+        total.alloc_ops = self.alloc_ops;
+        total.alloc_cycles = self.alloc_cycles;
+        total
     }
 }
 
@@ -143,6 +207,8 @@ pub struct AppOutcome {
     /// App-defined primary output (distances, ranks, colors, counters...).
     pub output: Vec<i64>,
     pub host_iterations: u32,
+    /// The functional capture, present when [`RunConfig::capture`] was set.
+    pub captures: Option<Arc<CaptureSet>>,
 }
 
 /// One prepared variant: engine + installed module (+ consolidation info).
@@ -153,6 +219,8 @@ pub struct VariantSession {
     pub cfg: RunConfig,
     prep: Option<PreparedLaunch>,
     pub total: ProfileReport,
+    /// Per-launch record DAGs, collected when [`RunConfig::capture`] is set.
+    captures: Option<Vec<Vec<ExecRecord>>>,
 }
 
 impl VariantSession {
@@ -206,10 +274,31 @@ impl VariantSession {
             engine,
             ids,
             cons,
+            captures: cfg.capture.then(Vec::new),
             cfg: cfg.clone(),
             prep: None,
             total: ProfileReport::default(),
         })
+    }
+
+    /// Run one launch through the engine and fold its profile into the
+    /// session total. In capture mode the launch goes through the explicit
+    /// capture → replay split (semantically identical to [`Engine::launch`])
+    /// and the record DAG is kept for later cross-device re-timing.
+    fn run_spec(&mut self, spec: LaunchSpec) -> Result<(), AppError> {
+        let report = match &mut self.captures {
+            None => self.engine.launch(spec)?,
+            Some(log) => {
+                let records = self.engine.capture(spec)?;
+                let mut report = self.engine.replay_timing(&records);
+                report.alloc_ops = self.engine.heap.stats.allocs;
+                report.alloc_cycles = self.engine.heap.stats.alloc_cycles;
+                log.push(records);
+                report
+            }
+        };
+        self.total.merge(&report);
+        Ok(())
     }
 
     pub fn alloc_array(&mut self, label: &str, data: Vec<i64>) -> ArrayId {
@@ -225,13 +314,13 @@ impl VariantSession {
         args: &[i64],
         config: (u32, u32),
     ) -> Result<(), AppError> {
-        let report = match &self.cons {
+        let spec = match &self.cons {
             None => {
                 let id = *self
                     .ids
                     .get(basic_entry)
                     .ok_or_else(|| AppError::Driver(format!("no kernel `{basic_entry}`")))?;
-                self.engine.launch(LaunchSpec::new(id, config.0, config.1, args.to_vec()))?
+                LaunchSpec::new(id, config.0, config.1, args.to_vec())
             }
             Some(cons) => {
                 if self.prep.is_none() {
@@ -248,11 +337,10 @@ impl VariantSession {
                 reset_launch(&mut self.engine, &mut prep)?;
                 let spec = prep.spec.clone();
                 self.prep = Some(prep);
-                self.engine.launch(spec)?
+                spec
             }
         };
-        self.total.merge(&report);
-        Ok(())
+        self.run_spec(spec)
     }
 
     /// Launch an auxiliary kernel that is not part of the consolidation
@@ -265,9 +353,7 @@ impl VariantSession {
     ) -> Result<(), AppError> {
         let id =
             *self.ids.get(name).ok_or_else(|| AppError::Driver(format!("no kernel `{name}`")))?;
-        let report = self.engine.launch(LaunchSpec::new(id, config.0, config.1, args.to_vec()))?;
-        self.total.merge(&report);
-        Ok(())
+        self.run_spec(LaunchSpec::new(id, config.0, config.1, args.to_vec()))
     }
 
     pub fn read(&self, a: ArrayId) -> Vec<i64> {
@@ -275,7 +361,15 @@ impl VariantSession {
     }
 
     pub fn finish(self, output: Vec<i64>, host_iterations: u32) -> AppOutcome {
-        AppOutcome { report: self.total, output, host_iterations }
+        let captures = self.captures.map(|launches| {
+            Arc::new(CaptureSet {
+                captured_on: self.cfg.gpu.clone(),
+                launches,
+                alloc_ops: self.engine.heap.stats.allocs,
+                alloc_cycles: self.engine.heap.stats.alloc_cycles,
+            })
+        });
+        AppOutcome { report: self.total, output, host_iterations, captures }
     }
 }
 

@@ -2,13 +2,13 @@
 //!
 //! ```text
 //! reproduce [fig5] [fig6] [fig7] [fig8] [fig9] [fig10] [ablations] [verify]
-//!           [tune] [all] [--tune] [--profile test|bench] [--markdown]
-//!           [--json PATH]
+//!           [tune] [fleet] [all] [--tune] [--fleet] [--devices a,b,c]
+//!           [--profile test|bench] [--markdown] [--json PATH]
 //! ```
 //!
-//! With no figure argument, everything except the tuning sweep runs.
-//! `--profile bench` (default) uses the scaled-dataset shapes described in
-//! DESIGN.md; `--profile test` runs a fast smoke pass. `--markdown` emits
+//! With no figure argument, everything except the tuning and fleet sweeps
+//! runs. `--profile bench` (default) uses the scaled-dataset shapes described
+//! in DESIGN.md; `--profile test` runs a fast smoke pass. `--markdown` emits
 //! GitHub tables (used to build EXPERIMENTS.md).
 //!
 //! `--tune` (or the `tune` experiment name) additionally runs the
@@ -16,6 +16,14 @@
 //! tuned-vs-paper-default speedups. Tuning results are cached under
 //! `.dpcons-tune-cache/`, so a repeated `--tune` run hits the cache and
 //! reproduces the identical report.
+//!
+//! `--fleet` (or the `fleet` experiment name) runs the device-fleet what-if
+//! sweep: each surviving tuner candidate is captured functionally **once**
+//! and re-timed on every device of `--devices` (default
+//! `k20c,k40,titan,tk1`; names from `dpcons_sim::GpuConfig::registry_names`)
+//! by timing-only replay, followed by a Test→Bench transfer-tuning check.
+//! It writes `BENCH_fleet.json`: the knobs × device cycle matrix, per-device
+//! winners, and per-app transfer regret.
 //!
 //! Whenever the overall sweep runs, the machine-readable record
 //! `BENCH_reproduce.json` (per-app cycles for flat / basic-dp / the three
@@ -28,6 +36,7 @@ use std::time::Instant;
 
 use dpcons_apps::{Profile, RunConfig};
 use dpcons_bench::*;
+use dpcons_sim::parse_fleet;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -35,6 +44,8 @@ fn main() {
     let mut markdown = false;
     let mut json_path = PathBuf::from("BENCH_reproduce.json");
     let mut want_tune = false;
+    let mut want_fleet = false;
+    let mut devices_spec = "k20c,k40,titan,tk1".to_string();
     let mut figs: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -56,9 +67,24 @@ fn main() {
                 }
             },
             "--tune" => want_tune = true,
+            "--fleet" => want_fleet = true,
+            "--devices" => match it.next() {
+                Some(s) => devices_spec = s.clone(),
+                None => {
+                    eprintln!("--devices needs a comma-separated device list");
+                    std::process::exit(2);
+                }
+            },
             f => figs.push(f.to_string()),
         }
     }
+    let fleet_devices = match parse_fleet(&devices_spec) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("--devices {devices_spec}: {e}");
+            std::process::exit(2);
+        }
+    };
     if figs.is_empty() || figs.iter().any(|f| f == "all") {
         let mut all: Vec<String> =
             ["verify", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "headline", "ablations"]
@@ -73,10 +99,13 @@ fn main() {
         }
         figs = all;
     }
-    // `--tune` runs the sweep *in addition to* whatever was selected;
-    // `tune` as an experiment name selects only the sweep.
+    // `--tune`/`--fleet` run their sweeps *in addition to* whatever was
+    // selected; `tune`/`fleet` as experiment names select only that sweep.
     if want_tune && !figs.iter().any(|f| f == "tune") {
         figs.push("tune".to_string());
+    }
+    if want_fleet && !figs.iter().any(|f| f == "fleet") {
+        figs.push("fleet".to_string());
     }
 
     let cfg = RunConfig::default();
@@ -131,6 +160,18 @@ fn main() {
                 let results = tune_all(profile, &cfg, Some(PathBuf::from(".dpcons-tune-cache")));
                 emit(&tuned_table(matrix.as_ref().expect("matrix"), &results));
                 tuned = Some(results);
+            }
+            "fleet" => {
+                let cache = Some(PathBuf::from(".dpcons-tune-cache"));
+                let fleet = fleet_all(profile, &cfg, &fleet_devices, cache.clone());
+                emit(&fleet_table(&fleet));
+                let transfer = transfer_all(&cfg, cache);
+                emit(&transfer_table(&transfer));
+                let fleet_path = PathBuf::from("BENCH_fleet.json");
+                match write_fleet_json(&fleet_path, profile, &cfg, &fleet, &transfer) {
+                    Ok(()) => eprintln!("[wrote {}]", fleet_path.display()),
+                    Err(e) => eprintln!("[failed to write {}: {e}]", fleet_path.display()),
+                }
             }
             "ablations" => {
                 emit(&ablation_pool_capacity(profile, &cfg));

@@ -19,14 +19,14 @@ use std::path::{Path, PathBuf};
 
 use dpcons_apps::{all_benchmarks, AppOutcome, Profile, RunConfig, Variant};
 use dpcons_core::{ConfigPolicy, Granularity, KnobSpace};
-use dpcons_sim::AllocKind;
-use dpcons_tune::{tune, Budget, Cache, TuneOptions};
+use dpcons_sim::{AllocKind, GpuConfig};
+use dpcons_tune::{fleet_sweep, transfer_check, tune, Budget, Cache, FleetOptions, TuneOptions};
 
 pub mod json;
 pub mod tables;
 
 pub use dpcons_tune::par::parallel_map;
-pub use dpcons_tune::TuneReport;
+pub use dpcons_tune::{FleetReport, TransferReport, TuneReport};
 pub use json::Json;
 pub use tables::Table;
 
@@ -521,6 +521,215 @@ pub fn tuned_table(matrix: &[AppResults], tuned: &[(String, TuneReport)]) -> Tab
     }
     t.note("cycles: full app run under the tuned directive; defaults come from the overall sweep");
     t
+}
+
+// ----------------------------------------------------------------- Fleet --
+
+/// Run the device-fleet what-if sweep over all seven benchmarks: every
+/// surviving candidate is captured functionally **once** (on `fleet[0]`) and
+/// re-timed on every fleet device, so the (knobs × device) matrix costs one
+/// functional run per row. Results are cached per (app, dataset, config,
+/// space, budget, fleet) under `cache_dir`.
+pub fn fleet_all(
+    profile: Profile,
+    cfg: &RunConfig,
+    fleet: &[GpuConfig],
+    cache_dir: Option<PathBuf>,
+) -> Vec<(String, FleetReport)> {
+    let apps = all_benchmarks(profile);
+    apps.iter()
+        .map(|app| {
+            let opts = FleetOptions {
+                base: cfg.clone(),
+                space: KnobSpace::quick(fleet[0].num_sms),
+                budget: Budget { max_evals: Some(24), patience: Some(3) },
+                fleet: fleet.to_vec(),
+                cache: Some(Cache::new(cache_dir.clone())),
+            };
+            let report = fleet_sweep(app.as_ref(), &opts)
+                .unwrap_or_else(|e| panic!("fleet sweep for {} failed: {e}", app.name()));
+            (app.name().to_string(), report)
+        })
+        .collect()
+}
+
+/// Transfer-tuning check over all seven benchmarks: knobs tuned on the
+/// Test-scale dataset re-scored on the Bench-scale dataset, against the
+/// Bench profile's own (same-budget) oracle sweep.
+pub fn transfer_all(cfg: &RunConfig, cache_dir: Option<PathBuf>) -> Vec<(String, TransferReport)> {
+    let test_apps = all_benchmarks(Profile::Test);
+    let bench_apps = all_benchmarks(Profile::Bench);
+    test_apps
+        .iter()
+        .zip(&bench_apps)
+        .map(|(t, b)| {
+            let opts = TuneOptions {
+                base: cfg.clone(),
+                space: KnobSpace::quick(cfg.gpu.num_sms),
+                budget: Budget { max_evals: Some(16), patience: Some(2) },
+                with_baselines: false,
+                cache: Some(Cache::new(cache_dir.clone())),
+            };
+            let report = transfer_check(t.as_ref(), b.as_ref(), &opts)
+                .unwrap_or_else(|e| panic!("transfer check for {} failed: {e}", t.name()));
+            (t.name().to_string(), report)
+        })
+        .collect()
+}
+
+/// Per-device winners of the fleet sweep, one row per app.
+pub fn fleet_table(results: &[(String, FleetReport)]) -> Table {
+    let devices: Vec<String> = results.first().map(|(_, r)| r.devices.clone()).unwrap_or_default();
+    let mut header = vec!["app".to_string(), "runs".to_string(), "datapoints".to_string()];
+    header.extend(devices.iter().cloned());
+    let mut t = Table::new(
+        "Fleet what-if sweep: per-device winning knobs (cycles)",
+        header.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    for (name, r) in results {
+        let mut row = vec![name.clone(), r.functional_runs.to_string(), r.retimings.to_string()];
+        for d in 0..r.devices.len() {
+            row.push(match (r.winner_knobs(d), r.winner_cycles(d)) {
+                (Some(k), Some(c)) => format!("{} ({c})", k.label()),
+                _ => "-".into(),
+            });
+        }
+        t.row(row);
+    }
+    t.note(format!(
+        "runs: functional executions; datapoints: runs x {} devices, timed by replay from one capture",
+        devices.len().max(1)
+    ));
+    t
+}
+
+/// Test→Bench transfer regret, one row per app.
+pub fn transfer_table(results: &[(String, TransferReport)]) -> Table {
+    let mut t = Table::new(
+        "Transfer tuning: Test-profile knobs re-scored on the Bench profile",
+        vec![
+            "app",
+            "test-tuned knobs",
+            "transferred cycles",
+            "oracle knobs",
+            "oracle cycles",
+            "regret",
+        ],
+    );
+    for (name, r) in results {
+        t.row(vec![
+            name.clone(),
+            r.test_knobs.label(),
+            r.transferred_cycles.map(|c| c.to_string()).unwrap_or_else(|| "-".into()),
+            r.oracle_knobs.label(),
+            r.oracle_cycles.to_string(),
+            r.regret().map(|g| format!("{:.1}%", 100.0 * g)).unwrap_or_else(|| "inf".into()),
+        ]);
+    }
+    t.note(
+        "regret: transferred cycles over the Bench profile's own budgeted-oracle cycles, minus 1",
+    );
+    t
+}
+
+/// Assemble the machine-readable fleet record (`BENCH_fleet.json`): the full
+/// knobs × device cycle matrix per app, per-device winners, and the
+/// Test→Bench transfer check.
+pub fn fleet_json(
+    profile: Profile,
+    cfg: &RunConfig,
+    fleet: &[(String, FleetReport)],
+    transfer: &[(String, TransferReport)],
+) -> Json {
+    let devices: Vec<String> = fleet.first().map(|(_, r)| r.devices.clone()).unwrap_or_default();
+    let apps: Vec<Json> = fleet
+        .iter()
+        .map(|(name, r)| {
+            let matrix: Vec<Json> = r
+                .retimed()
+                .map(|(c, cells)| {
+                    Json::Obj(vec![
+                        ("knobs".into(), Json::s(c.knobs.label())),
+                        (
+                            "cycles".into(),
+                            Json::Obj(
+                                r.devices
+                                    .iter()
+                                    .zip(cells)
+                                    .map(|(d, cell)| (d.clone(), Json::U64(cell.cycles)))
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                })
+                .collect();
+            let winners: Vec<(String, Json)> = r
+                .devices
+                .iter()
+                .enumerate()
+                .map(|(d, dev)| {
+                    let w = match (r.winner_knobs(d), r.winner_cycles(d)) {
+                        (Some(k), Some(c)) => Json::Obj(vec![
+                            ("knobs".into(), Json::s(k.label())),
+                            ("cycles".into(), Json::U64(c)),
+                        ]),
+                        _ => Json::Null,
+                    };
+                    (dev.clone(), w)
+                })
+                .collect();
+            let mut fields = vec![
+                ("name".to_string(), Json::s(name.clone())),
+                ("functional_runs".into(), Json::U64(r.functional_runs)),
+                ("retimings".into(), Json::U64(r.retimings)),
+                ("matrix".into(), Json::Arr(matrix)),
+                ("winners".into(), Json::Obj(winners)),
+            ];
+            if let Some((_, tr)) = transfer.iter().find(|(n, _)| n == name) {
+                fields.push((
+                    "transfer".into(),
+                    Json::Obj(vec![
+                        ("tuned_on".into(), Json::s("test")),
+                        ("scored_on".into(), Json::s("bench")),
+                        ("test_knobs".into(), Json::s(tr.test_knobs.label())),
+                        (
+                            "transferred_cycles".into(),
+                            tr.transferred_cycles.map(Json::U64).unwrap_or(Json::Null),
+                        ),
+                        ("oracle_knobs".into(), Json::s(tr.oracle_knobs.label())),
+                        ("oracle_cycles".into(), Json::U64(tr.oracle_cycles)),
+                        ("regret".into(), tr.regret().map(Json::F64).unwrap_or(Json::Null)),
+                    ]),
+                ));
+            }
+            Json::Obj(fields)
+        })
+        .collect();
+    Json::Obj(vec![
+        ("schema".into(), Json::s("dpcons-bench-fleet-v1")),
+        (
+            "profile".into(),
+            Json::s(match profile {
+                Profile::Test => "test",
+                Profile::Bench => "bench",
+            }),
+        ),
+        ("captured_on".into(), devices.first().map(|d| Json::s(d.clone())).unwrap_or(Json::Null)),
+        ("devices".into(), Json::Arr(devices.iter().map(|d| Json::s(d.clone())).collect())),
+        ("threshold".into(), Json::U64(cfg.threshold as u64)),
+        ("apps".into(), Json::Arr(apps)),
+    ])
+}
+
+/// Write the fleet record to disk.
+pub fn write_fleet_json(
+    path: &Path,
+    profile: Profile,
+    cfg: &RunConfig,
+    fleet: &[(String, FleetReport)],
+    transfer: &[(String, TransferReport)],
+) -> std::io::Result<()> {
+    std::fs::write(path, fleet_json(profile, cfg, fleet, transfer).render())
 }
 
 /// Assemble the machine-readable reproduction record

@@ -156,6 +156,33 @@ impl GpuConfig {
         }
     }
 
+    /// A Titan-class device (14 SMX GK110B at a higher clock): the "big
+    /// node" synthetic profile for fleet what-if sweeps.
+    pub fn titan() -> Self {
+        GpuConfig {
+            name: "Titan-like".to_string(),
+            num_sms: 14,
+            clock_ghz: 0.837,
+            ..GpuConfig::k20c()
+        }
+    }
+
+    /// An embedded Kepler profile (single SMX, half the register file, a
+    /// shallow pending pool, and few concurrent kernels): launch congestion
+    /// and pool overflow appear at small input sizes, so consolidation
+    /// matters *more* here — the interesting low end of a what-if fleet.
+    pub fn tk1() -> Self {
+        GpuConfig {
+            name: "TK1-like".to_string(),
+            num_sms: 1,
+            registers_per_sm: 32_768,
+            max_concurrent_kernels: 4,
+            fixed_pool_capacity: 512,
+            clock_ghz: 0.852,
+            ..GpuConfig::k20c()
+        }
+    }
+
     /// A deliberately tiny device for unit tests: failure modes (pool
     /// overflow, slot exhaustion) trigger with small inputs.
     pub fn tiny() -> Self {
@@ -186,6 +213,72 @@ impl GpuConfig {
     pub fn warps_for(&self, threads: u32) -> u32 {
         threads.div_ceil(self.warp_size)
     }
+
+    /// Short names of every registered device profile, in canonical order.
+    /// Each resolves via [`GpuConfig::by_name`]; all registered profiles
+    /// share the default [`CostModel`] and warp size, so any capture can be
+    /// replayed on any of them (`Engine::replay_timing_on`).
+    pub fn registry_names() -> &'static [&'static str] {
+        &["k20c", "k40", "titan", "tk1", "tiny"]
+    }
+
+    /// Look a device profile up by its short registry name
+    /// (case-insensitive, surrounding whitespace ignored).
+    pub fn by_name(name: &str) -> Option<GpuConfig> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "k20c" => Some(GpuConfig::k20c()),
+            "k40" => Some(GpuConfig::k40()),
+            "titan" => Some(GpuConfig::titan()),
+            "tk1" => Some(GpuConfig::tk1()),
+            "tiny" => Some(GpuConfig::tiny()),
+            _ => None,
+        }
+    }
+}
+
+/// Error from [`parse_fleet`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FleetSpecError {
+    /// The spec names no device at all.
+    Empty,
+    /// A name that is not in the registry.
+    Unknown { name: String },
+}
+
+impl std::fmt::Display for FleetSpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetSpecError::Empty => write!(f, "empty device fleet: name at least one device"),
+            FleetSpecError::Unknown { name } => write!(
+                f,
+                "unknown device `{name}`; known devices: {}",
+                GpuConfig::registry_names().join(", ")
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FleetSpecError {}
+
+/// Parse a `--devices`-style comma-separated fleet spec (e.g.
+/// `"k20c,k40,titan"`) against the device registry. Blank entries are
+/// skipped; an entirely empty fleet is rejected.
+pub fn parse_fleet(spec: &str) -> Result<Vec<GpuConfig>, FleetSpecError> {
+    let mut fleet = Vec::new();
+    for part in spec.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        match GpuConfig::by_name(part) {
+            Some(g) => fleet.push(g),
+            None => return Err(FleetSpecError::Unknown { name: part.to_string() }),
+        }
+    }
+    if fleet.is_empty() {
+        return Err(FleetSpecError::Empty);
+    }
+    Ok(fleet)
 }
 
 #[cfg(test)]
@@ -216,6 +309,55 @@ mod tests {
         assert_eq!(g.warps_for(32), 1);
         assert_eq!(g.warps_for(33), 2);
         assert_eq!(g.warps_for(1024), 32);
+    }
+
+    #[test]
+    fn registry_names_round_trip() {
+        for &name in GpuConfig::registry_names() {
+            let g = GpuConfig::by_name(name)
+                .unwrap_or_else(|| panic!("registered name `{name}` must resolve"));
+            // Case and whitespace are forgiven.
+            assert_eq!(GpuConfig::by_name(&format!("  {}  ", name.to_uppercase())), Some(g));
+        }
+        let spec = GpuConfig::registry_names().join(",");
+        let fleet = parse_fleet(&spec).unwrap();
+        assert_eq!(fleet.len(), GpuConfig::registry_names().len());
+        for (g, &name) in fleet.iter().zip(GpuConfig::registry_names()) {
+            assert_eq!(Some(g.clone()), GpuConfig::by_name(name));
+        }
+    }
+
+    #[test]
+    fn registry_devices_share_replay_compatible_substrate() {
+        // Replay validity: segment durations are baked in at capture time, so
+        // every registered profile must share the cost model and warp size.
+        let base = GpuConfig::k20c();
+        for &name in GpuConfig::registry_names() {
+            let g = GpuConfig::by_name(name).unwrap();
+            assert_eq!(g.costs, base.costs, "{name} cost model diverges");
+            assert_eq!(g.warp_size, base.warp_size, "{name} warp size diverges");
+        }
+    }
+
+    #[test]
+    fn unknown_device_error_names_the_culprit_and_the_registry() {
+        let err = parse_fleet("k20c,gtx9000").unwrap_err();
+        assert_eq!(err, FleetSpecError::Unknown { name: "gtx9000".into() });
+        let msg = err.to_string();
+        assert!(msg.contains("gtx9000"), "{msg}");
+        for &name in GpuConfig::registry_names() {
+            assert!(msg.contains(name), "error should list `{name}`: {msg}");
+        }
+    }
+
+    #[test]
+    fn empty_fleets_are_rejected() {
+        assert_eq!(parse_fleet(""), Err(FleetSpecError::Empty));
+        assert_eq!(parse_fleet(" ,  , "), Err(FleetSpecError::Empty));
+        // Blank entries between real ones are skipped, not fatal.
+        let fleet = parse_fleet("k20c,,k40,").unwrap();
+        assert_eq!(fleet.len(), 2);
+        assert_eq!(fleet[1].name, "K40-like");
     }
 
     #[test]

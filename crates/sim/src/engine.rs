@@ -18,6 +18,7 @@
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::alloc::{AllocKind, DeviceHeap};
@@ -26,6 +27,18 @@ use crate::kernel::{BlockCtx, BlockResult, KernelBody, KernelId, LaunchSpec};
 use crate::mem::GlobalMem;
 use crate::profiler::ProfileReport;
 use crate::SimError;
+
+/// Process-wide count of kernel executions performed by the **functional**
+/// phase, across every [`Engine`] ever created in this process.
+static FUNCTIONAL_EXECS: AtomicU64 = AtomicU64::new(0);
+
+/// Total functional kernel executions so far in this process. Timing-only
+/// replays ([`Engine::replay_timing`], [`Engine::replay_timing_on`]) never
+/// advance this counter, so tests can prove that what-if re-timing across a
+/// device fleet adds no functional work.
+pub fn functional_execs_total() -> u64 {
+    FUNCTIONAL_EXECS.load(Ordering::Relaxed)
+}
 
 /// One kernel execution captured by the functional phase.
 #[derive(Debug)]
@@ -125,7 +138,16 @@ impl Engine {
     /// warp size: segment durations are baked into the records at capture
     /// time, while structural resources (SM count, residency limits,
     /// concurrency, pending pools) are applied here. This is what lets a
-    /// K20c-captured run be re-timed on a K40-like device for free.
+    /// K20c-captured run be re-timed on a K40-like device for free — the
+    /// `dpcons-tune` fleet sweep prices every candidate on a whole device
+    /// fleet from one capture this way.
+    ///
+    /// The returned report covers timing-derived metrics only. The allocator
+    /// statistics (`alloc_ops`, `alloc_cycles`) are **not** populated on
+    /// replay — they stay zero, because they are functional facts of the
+    /// capture, owned by the capture engine's [`crate::DeviceHeap`]
+    /// (`Engine::launch`/`launch_traced` fill them from `heap.stats`;
+    /// `dpcons_apps::CaptureSet::replay_on` re-attaches the captured values).
     pub fn replay_timing_on(gpu: &GpuConfig, records: &[ExecRecord]) -> ProfileReport {
         let mut report = TimingSim::new(gpu, records).run();
         if !records.is_empty() {
@@ -148,6 +170,7 @@ impl Engine {
             if records.len() >= self.max_kernel_execs {
                 return Err(SimError::KernelExecLimit { limit: self.max_kernel_execs });
             }
+            FUNCTIONAL_EXECS.fetch_add(1, Ordering::Relaxed);
             let rec_id = records.len();
             let body = Arc::clone(&self.kernels[spec.kernel]);
             let mut blocks = Vec::with_capacity(spec.grid as usize);
@@ -1024,6 +1047,53 @@ mod tests {
             k40.total_cycles,
             k20.total_cycles
         );
+    }
+
+    #[test]
+    fn replay_does_not_populate_allocator_stats() {
+        let build = |e: &mut Engine| {
+            e.register(fn_kernel("allocator", |ctx| {
+                ctx.heap.alloc(64, ctx.cost)?;
+                Ok(BlockResult::single(seg(50)))
+            }))
+        };
+        let mut e1 = Engine::new(GpuConfig::tiny(), AllocKind::Default, 4096);
+        let k = build(&mut e1);
+        let direct = e1.launch(LaunchSpec::new(k, 2, 32, vec![])).unwrap();
+        assert!(direct.alloc_ops > 0 && direct.alloc_cycles > 0, "launch fills heap stats");
+
+        let mut e2 = Engine::new(GpuConfig::tiny(), AllocKind::Default, 4096);
+        let k = build(&mut e2);
+        let records = e2.capture(LaunchSpec::new(k, 2, 32, vec![])).unwrap();
+        for gpu in [GpuConfig::tiny(), GpuConfig::k20c()] {
+            let replayed = Engine::replay_timing_on(&gpu, &records);
+            assert_eq!(replayed.alloc_ops, 0, "replay must not invent allocator stats");
+            assert_eq!(replayed.alloc_cycles, 0);
+        }
+        // The captured values live on the capture engine's heap.
+        assert_eq!(e2.heap.stats.allocs, direct.alloc_ops);
+        assert_eq!(e2.heap.stats.alloc_cycles, direct.alloc_cycles);
+    }
+
+    #[test]
+    fn functional_exec_counter_advances_on_capture() {
+        // The counter is process-wide and other tests run concurrently, so
+        // only monotonicity is asserted here; the replay-adds-nothing claim
+        // is pinned by `crates/tune/tests/fleet_exec_count.rs`, which owns
+        // its whole test process.
+        let mut e = Engine::new(GpuConfig::tiny(), AllocKind::PreAlloc, 1024);
+        let child = e.register(fn_kernel("child", |_| Ok(BlockResult::single(seg(20)))));
+        let parent = e.register(fn_kernel("parent", move |ctx| {
+            let mut s = seg(5);
+            for _ in 0..3 {
+                s.launches.push(LaunchSpec::new(ctx.args[0] as usize, 1, 32, vec![]));
+            }
+            Ok(BlockResult::single(s))
+        }));
+        let before = functional_execs_total();
+        let records = e.capture(LaunchSpec::new(parent, 1, 32, vec![child as i64])).unwrap();
+        assert!(functional_execs_total() - before >= 4, "capture runs the kernels");
+        assert_eq!(e.replay_timing(&records).kernels_executed, 4);
     }
 
     #[test]

@@ -30,8 +30,8 @@ pub mod profiler;
 pub mod trace;
 
 pub use alloc::{AllocKind, DeviceHeap, HeapStats};
-pub use config::{CostModel, GpuConfig};
-pub use engine::{Engine, ExecRecord};
+pub use config::{parse_fleet, CostModel, FleetSpecError, GpuConfig};
+pub use engine::{functional_execs_total, Engine, ExecRecord};
 pub use kernel::{BlockCtx, BlockResult, KernelBody, KernelId, LaunchSpec, SegmentResult};
 pub use mem::{coalesced_transactions, ArrayId, GlobalMem};
 pub use profiler::ProfileReport;

@@ -1,0 +1,88 @@
+//! Differential replay harness: the correctness contract the device-fleet
+//! what-if sweep rests on.
+//!
+//! For every benchmark and every variant (flat, basic-dp, and all three
+//! consolidation granularities), a run executed through the explicit
+//! `Engine::capture` + `Engine::replay_timing` split
+//! ([`dpcons_apps::RunConfig::capture`]) must reproduce the *exact*
+//! [`dpcons_sim::ProfileReport`] — cycle counts included — of a fresh
+//! [`dpcons_sim::Engine::launch`], and re-timing the capture on the same
+//! device via [`dpcons_sim::Engine::replay_timing_on`]
+//! (`CaptureSet::replay_on`) must match too. If replay ever drifted from
+//! live execution, every fleet datapoint would silently be wrong.
+
+use dpcons_apps::{all_benchmarks, Profile, RunConfig, Variant};
+use dpcons_sim::{AllocKind, Engine};
+
+/// capture + replay_timing ≡ launch, and replay_timing_on(same device) ≡
+/// both, for every (app, variant) pair.
+#[test]
+fn capture_replay_matches_fresh_launch_for_every_app_and_granularity() {
+    let cfg = RunConfig::default();
+    let capture_cfg = RunConfig { capture: true, ..cfg.clone() };
+    let n_apps = all_benchmarks(Profile::Test).len();
+    std::thread::scope(|scope| {
+        for app_idx in 0..n_apps {
+            let (cfg, capture_cfg) = (&cfg, &capture_cfg);
+            scope.spawn(move || {
+                let apps = all_benchmarks(Profile::Test);
+                let app = &apps[app_idx];
+                for variant in Variant::ALL {
+                    let fail = |e| panic!("{} ({}): {e}", app.name(), variant.label());
+                    let direct = app.run(variant, cfg).unwrap_or_else(fail);
+                    let captured = app.run(variant, capture_cfg).unwrap_or_else(fail);
+                    assert_eq!(
+                        direct.output,
+                        captured.output,
+                        "{} ({}): capture mode changed functional output",
+                        app.name(),
+                        variant.label()
+                    );
+                    assert_eq!(
+                        direct.report,
+                        captured.report,
+                        "{} ({}): capture+replay diverged from a fresh launch",
+                        app.name(),
+                        variant.label()
+                    );
+                    let caps = captured.captures.expect("capture mode fills AppOutcome::captures");
+                    assert_eq!(
+                        caps.replay_on(&cfg.gpu),
+                        direct.report,
+                        "{} ({}): replay_timing_on(same device) diverged",
+                        app.name(),
+                        variant.label()
+                    );
+                    assert_eq!(caps.kernels_executed(), direct.report.kernels_executed);
+                }
+            });
+        }
+    });
+}
+
+/// `Engine::replay_timing_on` never populates allocator statistics — they
+/// belong to the functional capture — while `CaptureSet::replay_on`
+/// re-attaches the captured values (see the engine doc comment this pins).
+#[test]
+fn raw_replay_leaves_allocator_stats_empty() {
+    let apps = all_benchmarks(Profile::Test);
+    // A halloc-buffered consolidated run device-allocates its consolidation
+    // buffers, so the capture has nonzero allocator stats.
+    let cfg = RunConfig { alloc: AllocKind::Halloc, capture: true, ..RunConfig::default() };
+    let warp = Variant::ALL
+        .into_iter()
+        .find(|v| v.label() == "warp-level")
+        .expect("warp-level is a standard variant");
+    let out = apps[0].run(warp, &cfg).expect("SSSP warp-level halloc runs");
+    assert!(out.report.alloc_ops > 0, "expected device allocations in this configuration");
+    assert!(out.report.alloc_cycles > 0);
+    let caps = out.captures.expect("capture mode fills AppOutcome::captures");
+    for records in &caps.launches {
+        let raw = Engine::replay_timing_on(&cfg.gpu, records);
+        assert_eq!(raw.alloc_ops, 0, "raw replay must not populate alloc_ops");
+        assert_eq!(raw.alloc_cycles, 0, "raw replay must not populate alloc_cycles");
+    }
+    let replayed = caps.replay_on(&cfg.gpu);
+    assert_eq!(replayed.alloc_ops, out.report.alloc_ops);
+    assert_eq!(replayed.alloc_cycles, out.report.alloc_cycles);
+}

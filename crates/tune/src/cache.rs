@@ -103,20 +103,37 @@ impl Cache {
         }
     }
 
-    /// Store a report under its key. Disk writes are atomic (tmp + rename);
-    /// I/O errors are swallowed — the cache is an accelerator, not a
-    /// correctness dependency.
-    pub fn put(&self, key: u64, report: &TuneReport) {
-        let text = report.to_text();
+    /// Raw-text lookup (memory first, then disk) for report types that own
+    /// their parse/validate step, e.g. the fleet report. The caller must
+    /// treat unparseable text as a miss, mirroring [`Cache::get`].
+    pub fn get_text(&self, key: u64) -> Option<String> {
+        if let Some(text) = memory().lock().expect("cache poisoned").get(&key) {
+            return Some(text.clone());
+        }
+        let dir = self.dir.as_ref()?;
+        let text = std::fs::read_to_string(Self::path_for(dir, key)).ok()?;
         memory().lock().expect("cache poisoned").insert(key, text.clone());
+        Some(text)
+    }
+
+    /// Store raw entry text under its key. Disk writes are atomic (tmp +
+    /// rename); I/O errors are swallowed — the cache is an accelerator, not
+    /// a correctness dependency.
+    pub fn put_text(&self, key: u64, text: &str) {
+        memory().lock().expect("cache poisoned").insert(key, text.to_string());
         if let Some(dir) = &self.dir {
             if std::fs::create_dir_all(dir).is_ok() {
                 let tmp = dir.join(format!(".{key:016x}.{}.tmp", std::process::id()));
-                if std::fs::write(&tmp, &text).is_ok() {
+                if std::fs::write(&tmp, text).is_ok() {
                     let _ = std::fs::rename(&tmp, Self::path_for(dir, key));
                 }
             }
         }
+    }
+
+    /// Store a tune report under its key.
+    pub fn put(&self, key: u64, report: &TuneReport) {
+        self.put_text(key, &report.to_text());
     }
 
     /// Drop the in-memory layer (tests use this to force disk round trips).

@@ -36,14 +36,28 @@
 //! benchmark under tuned knobs ([`run_tuned`] searches then launches),
 //! `reproduce --tune` sweeps all seven apps and reports tuned-vs-default
 //! speedups, and `examples/autotune.rs` demonstrates the flow.
+//!
+//! On top of the single-device sweep sits the **device-fleet what-if
+//! subsystem** ([`fleet`]): [`fleet_sweep`] captures each surviving
+//! candidate's functional execution once and re-times it on every device of
+//! a [`dpcons_sim::GpuConfig`] fleet via `Engine::replay_timing_on`, turning
+//! one functional run into a whole row of the (knobs × device) matrix;
+//! [`transfer_check`] re-scores Test-profile-tuned knobs on the Bench
+//! profile and reports the regret against that profile's own oracle sweep.
+//! `reproduce --fleet` and `examples/fleet.rs` drive it end to end.
 
 pub mod cache;
+pub mod fleet;
 pub mod knobs;
 pub mod par;
 pub mod report;
 pub mod tuner;
 
 pub use cache::{fnv1a, Cache, Fnv64};
+pub use fleet::{
+    fleet_sweep, transfer_check, DeviceCell, FleetCandidate, FleetError, FleetOptions, FleetReport,
+    FleetStatus, TransferReport,
+};
 pub use knobs::Knobs;
 pub use par::parallel_map;
 pub use report::{CandidateOutcome, Metrics, Status, TuneReport};

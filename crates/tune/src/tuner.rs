@@ -97,6 +97,68 @@ impl std::fmt::Display for TuneError {
 
 impl std::error::Error for TuneError {}
 
+/// How many leading entries of `eval_idx` are paper-default candidates.
+/// Defaults are ordered first by [`enumerate_candidates`] and are exempt
+/// from the evaluation cap, so a budgeted sweep can never do worse than the
+/// hand-written directive.
+pub(crate) fn leading_default_count(
+    model: &TuneModel,
+    space: &KnobSpace,
+    cands: &[Knobs],
+    eval_idx: &[usize],
+) -> usize {
+    eval_idx
+        .iter()
+        .take_while(|&&i| space.granularities.iter().any(|&g| default_knobs(model, g) == cands[i]))
+        .count()
+}
+
+/// Shared budgeted wave driver for [`tune`] and the fleet sweep: walk
+/// `eval_idx` in [`WAVE_SIZE`] batches, honoring the evaluation cap (the
+/// `n_defaults` leading defaults are always covered) and the no-improvement
+/// patience. `evaluate` runs one batch (parallel inside); `record` stores one
+/// result and reports whether it improved the incumbent(s) — patience only
+/// stops the sweep once at least one improvement has ever been recorded.
+pub(crate) fn run_waves<S>(
+    eval_idx: &[usize],
+    n_defaults: usize,
+    budget: &Budget,
+    evaluate: impl Fn(&[usize]) -> Vec<S>,
+    mut record: impl FnMut(usize, S) -> bool,
+) {
+    let max_evals = budget.max_evals.map(|m| m.max(n_defaults)).unwrap_or(usize::MAX);
+    let mut evaluated = 0usize;
+    let mut stale_waves = 0usize;
+    let mut any_best = false;
+    let mut pos = 0usize;
+    while pos < eval_idx.len() {
+        let room = max_evals.saturating_sub(evaluated);
+        if room == 0 {
+            break;
+        }
+        let end = (pos + WAVE_SIZE.min(room)).min(eval_idx.len());
+        let batch = &eval_idx[pos..end];
+        let results = evaluate(batch);
+        let mut improved = false;
+        for (&i, st) in batch.iter().zip(results) {
+            improved |= record(i, st);
+            evaluated += 1;
+        }
+        any_best |= improved;
+        pos = end;
+        if let Some(p) = budget.patience {
+            if improved {
+                stale_waves = 0;
+            } else {
+                stale_waves += 1;
+                if stale_waves >= p && any_best {
+                    break;
+                }
+            }
+        }
+    }
+}
+
 /// Hash of the app's oracle output: identifies (app, dataset) pairs without
 /// any per-app plumbing, since the oracle is a deterministic function of the
 /// dataset.
@@ -317,39 +379,27 @@ pub fn tune(app: &dyn Benchmark, opts: &TuneOptions) -> Result<TuneReport, TuneE
         Vec::new()
     };
 
-    // The paper defaults are ordered first and always evaluated, so a budget
-    // can never leave the sweep worse than the hand-written directive.
-    let n_defaults = eval_idx
-        .iter()
-        .take_while(|&&i| {
-            opts.space.granularities.iter().any(|&g| default_knobs(&model, g) == cands[i])
-        })
-        .count();
-    let max_evals = opts.budget.max_evals.map(|m| m.max(n_defaults)).unwrap_or(usize::MAX);
+    let n_defaults = leading_default_count(&model, &opts.space, &cands, &eval_idx);
 
     let mut best: Option<(u64, usize)> = None;
-    let mut evaluated = 0usize;
-    let mut stale_waves = 0usize;
-    let mut pos = 0usize;
-    while pos < eval_idx.len() {
-        let room = max_evals.saturating_sub(evaluated);
-        if room == 0 {
-            break;
-        }
-        let end = (pos + WAVE_SIZE.min(room)).min(eval_idx.len());
-        let batch = &eval_idx[pos..end];
-        let jobs: Vec<_> = batch
-            .iter()
-            .map(|&i| {
-                let k = cands[i];
-                let base = &opts.base;
-                let expected = &expected;
-                move || evaluate_candidate(app, base, &k, expected)
-            })
-            .collect();
-        let results = parallel_map(jobs);
-        let mut improved = false;
-        for (&i, st) in batch.iter().zip(results) {
+    run_waves(
+        &eval_idx,
+        n_defaults,
+        &opts.budget,
+        |batch| {
+            let jobs: Vec<_> = batch
+                .iter()
+                .map(|&i| {
+                    let k = cands[i];
+                    let base = &opts.base;
+                    let expected = &expected;
+                    move || evaluate_candidate(app, base, &k, expected)
+                })
+                .collect();
+            parallel_map(jobs)
+        },
+        |i, st| {
+            let mut improved = false;
             if let Status::Evaluated(m) = &st {
                 if m.output_ok {
                     let entry = (m.cycles, i);
@@ -360,20 +410,9 @@ pub fn tune(app: &dyn Benchmark, opts: &TuneOptions) -> Result<TuneReport, TuneE
                 }
             }
             statuses[i] = Some(st);
-            evaluated += 1;
-        }
-        pos = end;
-        if let Some(p) = opts.budget.patience {
-            if improved {
-                stale_waves = 0;
-            } else {
-                stale_waves += 1;
-                if stale_waves >= p && best.is_some() {
-                    break;
-                }
-            }
-        }
-    }
+            improved
+        },
+    );
     // Whatever was not reached is recorded as skipped.
     for &i in &eval_idx {
         if statuses[i].is_none() {

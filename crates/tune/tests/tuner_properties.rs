@@ -9,10 +9,10 @@
 
 use dpcons_apps::{datasets, Benchmark, Profile, RunConfig, Sssp, TreeDescendants};
 use dpcons_core::{consolidate, BufferKind, Granularity, KnobSpace};
-use dpcons_sim::AllocKind;
+use dpcons_sim::{AllocKind, GpuConfig};
 use dpcons_tune::{
-    default_knobs, enumerate_candidates, evaluate_candidate, prune_reason, tune, Budget, Cache,
-    Knobs, Status, TuneOptions,
+    default_knobs, enumerate_candidates, evaluate_candidate, fleet_sweep, prune_reason, tune,
+    Budget, Cache, FleetOptions, Knobs, Status, TuneOptions,
 };
 
 fn sssp() -> Sssp {
@@ -187,6 +187,91 @@ fn analysis_prune_matches_the_compiler_rejection() {
     // Grid level is fine for the same kernel.
     let grid = Knobs { granularity: Granularity::Grid, ..warp };
     assert!(prune_reason(&model, &cfg, &grid).is_none());
+}
+
+#[test]
+fn fleet_cache_key_covers_every_dimension_including_device() {
+    // Property sweep over the fleet cache: the exact same (app fingerprint,
+    // run config, knob space, budget, fleet) hits through both layers;
+    // perturbing any single dimension — in particular the new *device*
+    // dimension — misses.
+    let app = sssp();
+    let dir = std::env::temp_dir().join(format!("dpcons-fleet-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let base_opts = FleetOptions {
+        base: RunConfig::default(),
+        space: tiny_space(),
+        budget: Budget::default(),
+        fleet: vec![GpuConfig::k20c(), GpuConfig::k40()],
+        cache: Some(Cache::new(Some(dir.clone()))),
+    };
+
+    let fresh = fleet_sweep(&app, &base_opts).unwrap();
+    assert!(!fresh.from_cache);
+    assert_eq!(fresh.devices, vec!["K20c-like", "K40-like"]);
+
+    // Same key: memory-layer hit, then (fresh process simulated) disk hit.
+    let warm = fleet_sweep(&app, &base_opts).unwrap();
+    assert!(warm.from_cache, "identical sweep must hit the memory layer");
+    assert_eq!(warm, fresh);
+    Cache::clear_memory();
+    let cold = fleet_sweep(&app, &base_opts).unwrap();
+    assert!(cold.from_cache, "identical sweep must hit the disk layer");
+    assert_eq!(cold, fresh);
+    assert_eq!(cold.to_text(), fresh.to_text());
+
+    // Device dimension: growing the fleet misses...
+    let mut grown = base_opts.clone();
+    grown.fleet.push(GpuConfig::titan());
+    let grown = fleet_sweep(&app, &grown).unwrap();
+    assert!(!grown.from_cache, "adding a device must be a new key");
+    // ...and so does swapping one device for another of the same count.
+    let mut swapped = base_opts.clone();
+    swapped.fleet[1] = GpuConfig::titan();
+    assert!(!fleet_sweep(&app, &swapped).unwrap().from_cache, "swapping a device must miss");
+    // Even a purely structural edit to one device (same name) must miss:
+    // the key hashes the full description, not the display name.
+    let mut edited = base_opts.clone();
+    edited.fleet[1].max_concurrent_kernels = 2;
+    assert!(!fleet_sweep(&app, &edited).unwrap().from_cache, "editing a device must miss");
+
+    // Non-device dimensions still miss as before.
+    let mut thr = base_opts.clone();
+    thr.base.threshold += 1;
+    assert!(!fleet_sweep(&app, &thr).unwrap().from_cache, "run config must be keyed");
+    let mut budget = base_opts.clone();
+    budget.budget = Budget { max_evals: Some(3), patience: None };
+    assert!(!fleet_sweep(&app, &budget).unwrap().from_cache, "budget must be keyed");
+    let other = Sssp::new(datasets::citeseer(Profile::Test).with_weights(15, 0xBEEF), 0);
+    let other_report = fleet_sweep(&other, &base_opts).unwrap();
+    assert!(!other_report.from_cache, "dataset fingerprint must be keyed");
+    assert_ne!(other_report.fingerprint, fresh.fingerprint);
+
+    // And after all those misses, the original key still hits.
+    assert!(fleet_sweep(&app, &base_opts).unwrap().from_cache);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fleet_rejects_empty_and_incompatible_fleets() {
+    use dpcons_tune::FleetError;
+    let app = sssp();
+    let mut opts = FleetOptions {
+        base: RunConfig::default(),
+        space: tiny_space(),
+        budget: Budget::default(),
+        fleet: Vec::new(),
+        cache: None,
+    };
+    assert_eq!(fleet_sweep(&app, &opts).unwrap_err(), FleetError::EmptyFleet);
+
+    let mut alien = GpuConfig::k40();
+    alien.costs.swap_cycles += 1;
+    opts.fleet = vec![GpuConfig::k20c(), alien];
+    match fleet_sweep(&app, &opts).unwrap_err() {
+        FleetError::IncompatibleDevice { device, .. } => assert_eq!(device, "K40-like"),
+        other => panic!("expected IncompatibleDevice, got {other:?}"),
+    }
 }
 
 #[test]

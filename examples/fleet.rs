@@ -1,0 +1,102 @@
+//! Device-fleet what-if sweep, end to end.
+//!
+//! ```sh
+//! cargo run --release --example fleet
+//! ```
+//!
+//! The fleet sweep exploits the simulator's two-phase engine: a tuner
+//! candidate's *functional* execution is device-independent, so each
+//! surviving candidate runs **once** (on the capture device) and its
+//! captured launch DAGs are re-priced on every other device by timing-only
+//! replay. One functional run buys a whole row of the knobs × device
+//! matrix. The walkthrough sweeps SSSP across four Kepler-class profiles,
+//! prints the matrix and the per-device winners, then runs the Test→Bench
+//! transfer check: how much do knobs tuned on the small dataset regret on
+//! the large one, versus tuning there directly?
+
+use dpcons::apps::{datasets, Profile, RunConfig, Sssp};
+use dpcons::compiler::KnobSpace;
+use dpcons::sim::parse_fleet;
+use dpcons::tune::{fleet_sweep, transfer_check, Budget, FleetOptions, TuneOptions};
+
+fn main() {
+    // -----------------------------------------------------------------
+    // 1. Assemble a fleet from the named device registry.
+    // -----------------------------------------------------------------
+    let fleet = parse_fleet("k20c,k40,titan,tk1").expect("registry names parse");
+    let names: Vec<&str> = fleet.iter().map(|g| g.name.as_str()).collect();
+    println!("# Fleet what-if sweep on {} devices: {}\n", fleet.len(), names.join(", "));
+
+    // -----------------------------------------------------------------
+    // 2. Capture once per candidate, re-time everywhere.
+    // -----------------------------------------------------------------
+    let app = Sssp::new(datasets::citeseer(Profile::Test).with_weights(15, 0xD15), 0);
+    let opts = FleetOptions {
+        base: RunConfig::default(),
+        space: KnobSpace::quick(fleet[0].num_sms),
+        budget: Budget { max_evals: Some(8), patience: Some(2) },
+        fleet,
+        cache: None,
+    };
+    let report = fleet_sweep(&app, &opts).expect("SSSP is tunable");
+    let retimed = report.retimed().count();
+    println!(
+        "{}: {} functional runs -> {} timing datapoints ({} candidates x {} devices)\n",
+        report.app,
+        report.functional_runs,
+        report.retimings,
+        retimed,
+        report.devices.len(),
+    );
+    assert_eq!(report.retimings, retimed as u64 * report.devices.len() as u64);
+
+    // The matrix: one row per retimed candidate, one cycles column per device.
+    println!("{:<28} {}", "knobs", report.devices.join("  "));
+    for (c, cells) in report.retimed() {
+        let row: Vec<String> = report
+            .devices
+            .iter()
+            .zip(cells)
+            .map(|(d, cell)| format!("{:>w$}", cell.cycles, w = d.len()))
+            .collect();
+        println!("{:<28} {}", c.knobs.label(), row.join("  "));
+    }
+
+    // Per-device winners: bigger devices may prefer different knobs.
+    println!("\nper-device winners:");
+    for (d, name) in report.devices.iter().enumerate() {
+        println!(
+            "  {:<12} {}  ({} cycles)",
+            name,
+            report.winner_knobs(d).expect("winner exists").label(),
+            report.winner_cycles(d).expect("winner exists"),
+        );
+    }
+
+    // -----------------------------------------------------------------
+    // 3. Transfer tuning: Test-scale knobs re-scored at Bench scale.
+    // -----------------------------------------------------------------
+    let bench_app = Sssp::new(datasets::citeseer(Profile::Bench).with_weights(15, 0xD15), 0);
+    let topts = TuneOptions {
+        base: RunConfig::default(),
+        space: KnobSpace::quick(RunConfig::default().gpu.num_sms),
+        budget: Budget { max_evals: Some(6), patience: Some(1) },
+        with_baselines: false,
+        cache: None,
+    };
+    let t = transfer_check(&app, &bench_app, &topts).expect("both profiles are tunable");
+    println!("\ntransfer check (Test -> Bench, on {}):", t.device);
+    println!("  test-tuned knobs   {}", t.test_knobs.label());
+    match (t.transferred_cycles, t.regret()) {
+        (Some(c), Some(r)) => {
+            println!("  transferred        {c} cycles");
+            println!(
+                "  bench oracle       {} cycles ({})",
+                t.oracle_cycles,
+                t.oracle_knobs.label()
+            );
+            println!("  regret             {:.1}%", 100.0 * r);
+        }
+        _ => println!("  transferred        infeasible at Bench scale"),
+    }
+}
