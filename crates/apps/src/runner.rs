@@ -9,7 +9,7 @@
 //! host launches, and merging per-launch profiles.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use dpcons_core::{
     consolidate, prepare_launch, reset_launch, ConfigPolicy, Consolidated, Directive, Granularity,
@@ -20,6 +20,13 @@ use dpcons_sim::{
     AllocKind, ArrayId, Engine, ExecRecord, GpuConfig, KernelId, LaunchSpec, ProfileReport,
     SimError,
 };
+
+/// `app.host_launches` counter: every host-side kernel launch made through a
+/// [`VariantSession`], cached so the per-launch cost is one atomic add.
+fn host_launches_counter() -> &'static dpcons_obs::Counter {
+    static C: OnceLock<&'static dpcons_obs::Counter> = OnceLock::new();
+    C.get_or_init(|| dpcons_obs::counter("app.host_launches"))
+}
 
 /// Which implementation of a benchmark to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -286,13 +293,19 @@ impl VariantSession {
     /// capture → replay split (semantically identical to [`Engine::launch`])
     /// and the record DAG is kept for later cross-device re-timing.
     fn run_spec(&mut self, spec: LaunchSpec) -> Result<(), AppError> {
+        let _span = dpcons_obs::span("app.launch");
+        host_launches_counter().inc();
         let report = match &mut self.captures {
             None => self.engine.launch(spec)?,
             Some(log) => {
+                // Per-launch allocator delta, mirroring `Engine::launch_traced`,
+                // so per-launch reports merge additively.
+                let allocs_before = self.engine.heap.stats.allocs;
+                let alloc_cycles_before = self.engine.heap.stats.alloc_cycles;
                 let records = self.engine.capture(spec)?;
                 let mut report = self.engine.replay_timing(&records);
-                report.alloc_ops = self.engine.heap.stats.allocs;
-                report.alloc_cycles = self.engine.heap.stats.alloc_cycles;
+                report.alloc_ops = self.engine.heap.stats.allocs - allocs_before;
+                report.alloc_cycles = self.engine.heap.stats.alloc_cycles - alloc_cycles_before;
                 log.push(records);
                 report
             }

@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! reproduce [fig5] [fig6] [fig7] [fig8] [fig9] [fig10] [ablations] [verify]
-//!           [tune] [fleet] [all] [--tune] [--fleet] [--devices a,b,c]
+//!           [tune] [fleet] [micro] [all] [--tune] [--fleet] [--devices a,b,c]
 //!           [--profile test|bench] [--markdown] [--json PATH]
+//!           [--trace PATH] [--metrics] [--quiet]
 //! ```
 //!
 //! With no figure argument, everything except the tuning and fleet sweeps
@@ -25,6 +26,17 @@
 //! It writes `BENCH_fleet.json`: the knobs × device cycle matrix, per-device
 //! winners, and per-app transfer regret.
 //!
+//! The `micro` experiment (not part of the default set) times the pipeline
+//! stages — capture, timing replay, consolidated functional run, tuner
+//! sweep — per app and writes `BENCH_micro.json`, the repo's host wall-clock
+//! trajectory record.
+//!
+//! Observability: `--trace PATH` records spans from every stage of the run
+//! and writes a Chrome trace-event JSON (load it in Perfetto or
+//! `chrome://tracing`); `--metrics` prints the process metrics registry and
+//! a span stage summary on exit; `--quiet` suppresses the stderr progress
+//! lines.
+//!
 //! Whenever the overall sweep runs, the machine-readable record
 //! `BENCH_reproduce.json` (per-app cycles for flat / basic-dp / the three
 //! consolidated granularities / tuned) is written so future changes have a
@@ -38,10 +50,26 @@ use dpcons_apps::{Profile, RunConfig};
 use dpcons_bench::*;
 use dpcons_sim::parse_fleet;
 
+/// Print a usage error to stderr and exit with the conventional CLI-misuse
+/// status. Every malformed-invocation path funnels through here so the exit
+/// status and message shape stay uniform.
+fn usage_err(msg: &str) -> ! {
+    eprintln!("reproduce: {msg}");
+    eprintln!(
+        "usage: reproduce [experiments...] [--profile test|bench] [--markdown] \
+         [--json PATH] [--tune] [--fleet] [--devices a,b,c] [--trace PATH] \
+         [--metrics] [--quiet]"
+    );
+    std::process::exit(2);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut profile = Profile::Bench;
     let mut markdown = false;
+    let mut quiet = false;
+    let mut metrics = false;
+    let mut trace_path: Option<PathBuf> = None;
     let mut json_path = PathBuf::from("BENCH_reproduce.json");
     let mut want_tune = false;
     let mut want_fleet = false;
@@ -53,38 +81,37 @@ fn main() {
             "--profile" => match it.next().map(String::as_str) {
                 Some("test") => profile = Profile::Test,
                 Some("bench") => profile = Profile::Bench,
-                other => {
-                    eprintln!("unknown profile {other:?}");
-                    std::process::exit(2);
-                }
+                other => usage_err(&format!("unknown profile {other:?}")),
             },
             "--markdown" => markdown = true,
+            "--quiet" => quiet = true,
+            "--metrics" => metrics = true,
+            "--trace" => match it.next() {
+                Some(p) => trace_path = Some(PathBuf::from(p)),
+                None => usage_err("--trace needs a path"),
+            },
             "--json" => match it.next() {
                 Some(p) => json_path = PathBuf::from(p),
-                None => {
-                    eprintln!("--json needs a path");
-                    std::process::exit(2);
-                }
+                None => usage_err("--json needs a path"),
             },
             "--tune" => want_tune = true,
             "--fleet" => want_fleet = true,
             "--devices" => match it.next() {
                 Some(s) => devices_spec = s.clone(),
-                None => {
-                    eprintln!("--devices needs a comma-separated device list");
-                    std::process::exit(2);
-                }
+                None => usage_err("--devices needs a comma-separated device list"),
             },
             f => figs.push(f.to_string()),
         }
     }
     let fleet_devices = match parse_fleet(&devices_spec) {
         Ok(f) => f,
-        Err(e) => {
-            eprintln!("--devices {devices_spec}: {e}");
-            std::process::exit(2);
-        }
+        Err(e) => usage_err(&format!("--devices {devices_spec}: {e}")),
     };
+    // Span recording costs one atomic per span when off; turn it on only
+    // when the run is actually going to export a trace.
+    if trace_path.is_some() {
+        dpcons_obs::set_tracing(true);
+    }
     if figs.is_empty() || figs.iter().any(|f| f == "all") {
         let mut all: Vec<String> =
             ["verify", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "headline", "ablations"]
@@ -116,6 +143,11 @@ fn main() {
             println!("{}", t.render());
         }
     };
+    let progress = |line: String| {
+        if !quiet {
+            eprintln!("{line}");
+        }
+    };
 
     println!(
         "# dpcons reproduction — profile: {:?}, device: {}, threshold: {}\n",
@@ -130,7 +162,7 @@ fn main() {
     let matrix = if needs_matrix {
         let t0 = Instant::now();
         let m = overall_matrix(profile, &cfg);
-        eprintln!("[overall sweep finished in {:.1}s]", t0.elapsed().as_secs_f64());
+        progress(format!("[overall sweep finished in {:.1}s]", t0.elapsed().as_secs_f64()));
         Some(m)
     } else {
         None
@@ -169,26 +201,48 @@ fn main() {
                 emit(&transfer_table(&transfer));
                 let fleet_path = PathBuf::from("BENCH_fleet.json");
                 match write_fleet_json(&fleet_path, profile, &cfg, &fleet, &transfer) {
-                    Ok(()) => eprintln!("[wrote {}]", fleet_path.display()),
+                    Ok(()) => progress(format!("[wrote {}]", fleet_path.display())),
                     Err(e) => eprintln!("[failed to write {}: {e}]", fleet_path.display()),
+                }
+            }
+            "micro" => {
+                let results = micro_all(profile, &cfg);
+                emit(&micro_table(&results));
+                let micro_path = PathBuf::from("BENCH_micro.json");
+                match write_micro_json(&micro_path, profile, &cfg, &results) {
+                    Ok(()) => progress(format!("[wrote {}]", micro_path.display())),
+                    Err(e) => eprintln!("[failed to write {}: {e}]", micro_path.display()),
                 }
             }
             "ablations" => {
                 emit(&ablation_pool_capacity(profile, &cfg));
                 emit(&ablation_threshold(profile, &cfg));
             }
-            other => {
-                eprintln!("unknown experiment `{other}`");
-                std::process::exit(2);
-            }
+            other => usage_err(&format!("unknown experiment `{other}`")),
         }
-        eprintln!("[{f} finished in {:.1}s]", t0.elapsed().as_secs_f64());
+        progress(format!("[{f} finished in {:.1}s]", t0.elapsed().as_secs_f64()));
     }
 
     if let Some(matrix) = &matrix {
         match write_reproduce_json(&json_path, profile, &cfg, matrix, tuned.as_deref()) {
-            Ok(()) => eprintln!("[wrote {}]", json_path.display()),
+            Ok(()) => progress(format!("[wrote {}]", json_path.display())),
             Err(e) => eprintln!("[failed to write {}: {e}]", json_path.display()),
         }
+    }
+
+    // Observability exports run last so they cover every selected experiment.
+    if let Some(path) = &trace_path {
+        let spans = dpcons_obs::take_spans();
+        let json = dpcons_obs::chrome_trace_json(&spans);
+        match std::fs::write(path, &json) {
+            Ok(()) => progress(format!("[wrote {} ({} spans)]", path.display(), spans.len())),
+            Err(e) => eprintln!("[failed to write {}: {e}]", path.display()),
+        }
+        if metrics {
+            println!("{}", dpcons_obs::stage_summary(&spans));
+        }
+    }
+    if metrics {
+        println!("{}", dpcons_obs::render_metrics_table());
     }
 }

@@ -23,11 +23,16 @@ use dpcons_sim::{AllocKind, GpuConfig};
 use dpcons_tune::{fleet_sweep, transfer_check, tune, Budget, Cache, FleetOptions, TuneOptions};
 
 pub mod json;
+pub mod micro;
 pub mod tables;
 
 pub use dpcons_tune::par::parallel_map;
 pub use dpcons_tune::{FleetReport, TransferReport, TuneReport};
 pub use json::Json;
+pub use micro::{
+    micro_all, micro_app, micro_json, micro_table, write_micro_json, MicroResult, StageTiming,
+    MICRO_STAGES,
+};
 pub use tables::Table;
 
 /// Profiled outcomes of every variant of one benchmark.

@@ -1,0 +1,196 @@
+//! `reproduce micro` — host wall-clock trajectory of the pipeline stages.
+//!
+//! Times the named stages of the reproduction pipeline — functional capture,
+//! timing replay, consolidated functional execution, and a budgeted tuner
+//! sweep — across the seven apps, and writes `BENCH_micro.json` so the
+//! repository accumulates a PR-over-PR host-performance trajectory.
+//!
+//! The JSON separates two kinds of fields on purpose: `wall_ms` is host
+//! wall-clock (machine-dependent, **never** pinned by tests) while `cycles`
+//! and `work` are deterministic facts of the simulation (identical on every
+//! machine and run), which is what the workspace tests check.
+
+use std::path::Path;
+use std::time::Instant;
+
+use dpcons_apps::{all_benchmarks, Benchmark, Profile, RunConfig, Variant};
+use dpcons_core::{Granularity, KnobSpace};
+use dpcons_tune::{tune, Budget, TuneOptions};
+
+use crate::json::Json;
+use crate::tables::Table;
+
+/// One timed stage of one app's micro run.
+#[derive(Debug, Clone)]
+pub struct StageTiming {
+    /// Stage name: `capture`, `replay_timing`, `grid_functional`, `tune_waves`.
+    pub stage: &'static str,
+    /// Host wall-clock milliseconds. Machine-dependent; excluded from any
+    /// deterministic comparison.
+    pub wall_ms: f64,
+    /// Simulated cycles produced by the stage (deterministic).
+    pub cycles: u64,
+    /// Work measure of the stage (deterministic): kernels executed for the
+    /// run/replay stages, candidates evaluated for the tuner stage.
+    pub work: u64,
+}
+
+/// Stage timings of one app.
+#[derive(Debug, Clone)]
+pub struct MicroResult {
+    pub app: String,
+    pub stages: Vec<StageTiming>,
+}
+
+fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let started = Instant::now();
+    let v = f();
+    (v, started.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Run the micro benchmark for one app: capture → replay → consolidated
+/// functional run → budgeted tuner sweep, each stage timed separately.
+pub fn micro_app(app: &dyn Benchmark, cfg: &RunConfig) -> MicroResult {
+    let _span = dpcons_obs::span("micro.app");
+    let mut stages = Vec::new();
+
+    // Stage 1: functional capture of the basic-dp variant (the paper's
+    // pathological baseline — the launch DAG the whole pipeline consumes).
+    let capture_cfg = RunConfig { capture: true, ..cfg.clone() };
+    let (out, wall_ms) = timed(|| {
+        app.run(Variant::BasicDp, &capture_cfg).unwrap_or_else(|e| {
+            panic!("micro capture of {} failed: {e}", app.name());
+        })
+    });
+    stages.push(StageTiming {
+        stage: "capture",
+        wall_ms,
+        cycles: out.report.total_cycles,
+        work: out.report.kernels_executed,
+    });
+    let caps = out.captures.clone().expect("capture was enabled");
+
+    // Stage 2: timing-only replay of that capture on the same device —
+    // isolates the discrete-event replay cost from the functional interp.
+    let (rep, wall_ms) = timed(|| caps.replay_on(&cfg.gpu));
+    stages.push(StageTiming {
+        stage: "replay_timing",
+        wall_ms,
+        cycles: rep.total_cycles,
+        work: rep.kernels_executed,
+    });
+
+    // Stage 3: fresh functional execution of the grid-level consolidated
+    // variant — the transformed code path the paper champions.
+    let (out, wall_ms) = timed(|| {
+        app.run(Variant::Consolidated(Granularity::Grid), cfg).unwrap_or_else(|e| {
+            panic!("micro grid run of {} failed: {e}", app.name());
+        })
+    });
+    stages.push(StageTiming {
+        stage: "grid_functional",
+        wall_ms,
+        cycles: out.report.total_cycles,
+        work: out.report.kernels_executed,
+    });
+
+    // Stage 4: a small budgeted tuner sweep (no baselines, no cache — every
+    // candidate is really evaluated, so the stage times the sweep itself).
+    let opts = TuneOptions {
+        base: cfg.clone(),
+        space: KnobSpace::quick(cfg.gpu.num_sms),
+        budget: Budget { max_evals: Some(8), patience: Some(1) },
+        with_baselines: false,
+        cache: None,
+    };
+    let (report, wall_ms) = timed(|| {
+        tune(app, &opts).unwrap_or_else(|e| panic!("micro sweep of {} failed: {e}", app.name()))
+    });
+    stages.push(StageTiming {
+        stage: "tune_waves",
+        wall_ms,
+        cycles: report.best_cycles().unwrap_or(0),
+        work: report.evaluated as u64,
+    });
+
+    MicroResult { app: app.name().to_string(), stages }
+}
+
+/// Run the micro benchmark across all seven apps, sequentially (stage
+/// timings stay attributable; the stages themselves parallelize inside the
+/// tuner's waves).
+pub fn micro_all(profile: Profile, cfg: &RunConfig) -> Vec<MicroResult> {
+    all_benchmarks(profile).iter().map(|app| micro_app(app.as_ref(), cfg)).collect()
+}
+
+/// Names of the timed stages, in run order.
+pub const MICRO_STAGES: [&str; 4] = ["capture", "replay_timing", "grid_functional", "tune_waves"];
+
+/// Assemble `BENCH_micro.json`. `wall_ms` fields are machine-dependent;
+/// everything else is deterministic.
+pub fn micro_json(profile: Profile, cfg: &RunConfig, results: &[MicroResult]) -> Json {
+    let apps: Vec<Json> = results
+        .iter()
+        .map(|r| {
+            let stages: Vec<Json> = r
+                .stages
+                .iter()
+                .map(|s| {
+                    Json::Obj(vec![
+                        ("stage".into(), Json::s(s.stage)),
+                        ("wall_ms".into(), Json::F64(s.wall_ms)),
+                        ("cycles".into(), Json::U64(s.cycles)),
+                        ("work".into(), Json::U64(s.work)),
+                    ])
+                })
+                .collect();
+            Json::Obj(vec![
+                ("name".into(), Json::s(r.app.clone())),
+                ("stages".into(), Json::Arr(stages)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("schema".into(), Json::s("dpcons-bench-micro-v1")),
+        (
+            "profile".into(),
+            Json::s(match profile {
+                Profile::Test => "test",
+                Profile::Bench => "bench",
+            }),
+        ),
+        ("gpu".into(), Json::s(cfg.gpu.name.clone())),
+        ("apps".into(), Json::Arr(apps)),
+    ])
+}
+
+/// Write the micro record to disk.
+pub fn write_micro_json(
+    path: &Path,
+    profile: Profile,
+    cfg: &RunConfig,
+    results: &[MicroResult],
+) -> std::io::Result<()> {
+    std::fs::write(path, micro_json(profile, cfg, results).render())
+}
+
+/// Human-readable stage-timing table, one row per (app, stage).
+pub fn micro_table(results: &[MicroResult]) -> Table {
+    let mut t = Table::new(
+        "Micro: host wall-clock per pipeline stage",
+        vec!["app", "stage", "wall_ms", "sim cycles", "work"],
+    );
+    for r in results {
+        for s in &r.stages {
+            t.row(vec![
+                r.app.clone(),
+                s.stage.to_string(),
+                format!("{:.2}", s.wall_ms),
+                s.cycles.to_string(),
+                s.work.to_string(),
+            ]);
+        }
+    }
+    t.note("wall_ms is host time (machine-dependent); cycles and work are deterministic");
+    t
+}

@@ -18,8 +18,7 @@
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use crate::alloc::{AllocKind, DeviceHeap};
 use crate::config::GpuConfig;
@@ -27,17 +26,30 @@ use crate::kernel::{BlockCtx, BlockResult, KernelBody, KernelId, LaunchSpec};
 use crate::mem::GlobalMem;
 use crate::profiler::ProfileReport;
 use crate::SimError;
+use dpcons_obs as obs;
 
 /// Process-wide count of kernel executions performed by the **functional**
-/// phase, across every [`Engine`] ever created in this process.
-static FUNCTIONAL_EXECS: AtomicU64 = AtomicU64::new(0);
+/// phase, across every [`Engine`] ever created in this process. Backed by
+/// the `sim.functional_execs` counter in the `dpcons-obs` registry; cached
+/// here so the hot functional loop pays one striped atomic add, not a
+/// registry lookup.
+fn functional_execs_counter() -> &'static obs::Counter {
+    static C: OnceLock<&'static obs::Counter> = OnceLock::new();
+    C.get_or_init(|| obs::counter("sim.functional_execs"))
+}
+
+/// Counter of timing-only replays (`sim.replays`), cached like the above.
+fn replays_counter() -> &'static obs::Counter {
+    static C: OnceLock<&'static obs::Counter> = OnceLock::new();
+    C.get_or_init(|| obs::counter("sim.replays"))
+}
 
 /// Total functional kernel executions so far in this process. Timing-only
 /// replays ([`Engine::replay_timing`], [`Engine::replay_timing_on`]) never
 /// advance this counter, so tests can prove that what-if re-timing across a
 /// device fleet adds no functional work.
 pub fn functional_execs_total() -> u64 {
-    FUNCTIONAL_EXECS.load(Ordering::Relaxed)
+    functional_execs_counter().get()
 }
 
 /// One kernel execution captured by the functional phase.
@@ -106,10 +118,15 @@ impl Engine {
         &mut self,
         spec: LaunchSpec,
     ) -> Result<(ProfileReport, crate::trace::LaunchTree), SimError> {
+        // Report the allocator work of *this* launch (delta over the heap's
+        // cumulative stats), so back-to-back launches merge additively in
+        // `ProfileReport::merge` instead of each carrying the running total.
+        let allocs_before = self.heap.stats.allocs;
+        let alloc_cycles_before = self.heap.stats.alloc_cycles;
         let records = self.capture(spec)?;
         let mut report = self.replay_timing(&records);
-        report.alloc_ops = self.heap.stats.allocs;
-        report.alloc_cycles = self.heap.stats.alloc_cycles;
+        report.alloc_ops = self.heap.stats.allocs - allocs_before;
+        report.alloc_cycles = self.heap.stats.alloc_cycles - alloc_cycles_before;
         Ok((report, crate::trace::summarize(&records)))
     }
 
@@ -122,6 +139,7 @@ impl Engine {
     /// different device description) can do so without paying the functional
     /// re-execution.
     pub fn capture(&mut self, spec: LaunchSpec) -> Result<Vec<ExecRecord>, SimError> {
+        let _span = obs::span("sim.capture");
         self.functional_phase(spec)
     }
 
@@ -149,6 +167,8 @@ impl Engine {
     /// (`Engine::launch`/`launch_traced` fill them from `heap.stats`;
     /// `dpcons_apps::CaptureSet::replay_on` re-attaches the captured values).
     pub fn replay_timing_on(gpu: &GpuConfig, records: &[ExecRecord]) -> ProfileReport {
+        let _span = obs::span_n("sim.replay", records.len() as u64);
+        replays_counter().inc();
         let mut report = TimingSim::new(gpu, records).run();
         if !records.is_empty() {
             report.host_launches = 1;
@@ -170,7 +190,7 @@ impl Engine {
             if records.len() >= self.max_kernel_execs {
                 return Err(SimError::KernelExecLimit { limit: self.max_kernel_execs });
             }
-            FUNCTIONAL_EXECS.fetch_add(1, Ordering::Relaxed);
+            functional_execs_counter().inc();
             let rec_id = records.len();
             let body = Arc::clone(&self.kernels[spec.kernel]);
             let mut blocks = Vec::with_capacity(spec.grid as usize);

@@ -78,8 +78,11 @@ impl ProfileReport {
         self.swaps += other.swaps;
         self.max_depth = self.max_depth.max(other.max_depth);
         self.warp_cycles += other.warp_cycles;
-        self.alloc_ops = self.alloc_ops.max(other.alloc_ops);
-        self.alloc_cycles = self.alloc_cycles.max(other.alloc_cycles);
+        // Allocator work accumulates across back-to-back launches like every
+        // other additive counter. Per-launch reports carry the launch's own
+        // allocator delta (not the heap's running total), so summing is exact.
+        self.alloc_ops += other.alloc_ops;
+        self.alloc_cycles += other.alloc_cycles;
     }
 
     /// All kernel launches (host + device).
@@ -130,6 +133,17 @@ mod tests {
         assert_eq!(a.max_depth, 2);
         assert!((a.warp_exec_efficiency - 0.8).abs() < 1e-12);
         assert!((a.achieved_occupancy - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates_allocator_stats() {
+        // Regression: alloc_ops/alloc_cycles used to merge with `max`, which
+        // under-counted allocator work across back-to-back host launches.
+        let mut a = ProfileReport { alloc_ops: 4, alloc_cycles: 400, ..Default::default() };
+        let b = ProfileReport { alloc_ops: 3, alloc_cycles: 120, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.alloc_ops, 7);
+        assert_eq!(a.alloc_cycles, 520);
     }
 
     #[test]

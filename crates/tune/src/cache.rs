@@ -63,6 +63,23 @@ fn memory() -> &'static Mutex<HashMap<u64, String>> {
     MEM.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
+/// `tune.cache.{hits,misses,writes}` counters, cached once per process.
+fn cache_counters(
+) -> (&'static dpcons_obs::Counter, &'static dpcons_obs::Counter, &'static dpcons_obs::Counter) {
+    static C: OnceLock<(
+        &'static dpcons_obs::Counter,
+        &'static dpcons_obs::Counter,
+        &'static dpcons_obs::Counter,
+    )> = OnceLock::new();
+    *C.get_or_init(|| {
+        (
+            dpcons_obs::counter("tune.cache.hits"),
+            dpcons_obs::counter("tune.cache.misses"),
+            dpcons_obs::counter("tune.cache.writes"),
+        )
+    })
+}
+
 /// The two-layer cache handle. `dir: None` disables the disk layer.
 #[derive(Debug, Clone)]
 pub struct Cache {
@@ -87,6 +104,17 @@ impl Cache {
     /// Look a key up (memory first, then disk). Corrupt or unparseable disk
     /// entries are treated as misses.
     pub fn get(&self, key: u64) -> Option<TuneReport> {
+        let (hits, misses, _) = cache_counters();
+        let found = self.get_report_uncounted(key);
+        if found.is_some() {
+            hits.inc()
+        } else {
+            misses.inc()
+        }
+        found
+    }
+
+    fn get_report_uncounted(&self, key: u64) -> Option<TuneReport> {
         if let Some(text) = memory().lock().expect("cache poisoned").get(&key) {
             if let Ok(r) = TuneReport::from_text(text) {
                 return Some(r);
@@ -107,6 +135,17 @@ impl Cache {
     /// their parse/validate step, e.g. the fleet report. The caller must
     /// treat unparseable text as a miss, mirroring [`Cache::get`].
     pub fn get_text(&self, key: u64) -> Option<String> {
+        let (hits, misses, _) = cache_counters();
+        let found = self.get_text_uncounted(key);
+        if found.is_some() {
+            hits.inc()
+        } else {
+            misses.inc()
+        }
+        found
+    }
+
+    fn get_text_uncounted(&self, key: u64) -> Option<String> {
         if let Some(text) = memory().lock().expect("cache poisoned").get(&key) {
             return Some(text.clone());
         }
@@ -120,6 +159,7 @@ impl Cache {
     /// rename); I/O errors are swallowed — the cache is an accelerator, not
     /// a correctness dependency.
     pub fn put_text(&self, key: u64, text: &str) {
+        cache_counters().2.inc();
         memory().lock().expect("cache poisoned").insert(key, text.to_string());
         if let Some(dir) = &self.dir {
             if std::fs::create_dir_all(dir).is_ok() {

@@ -392,6 +392,7 @@ fn fleet_cache_key(
 /// wave parallelism and [`Budget`] semantics (paper defaults are always
 /// captured; patience counts waves without improvement on *any* device).
 pub fn fleet_sweep(app: &dyn Benchmark, opts: &FleetOptions) -> Result<FleetReport, FleetError> {
+    let _sweep = dpcons_obs::span("fleet.sweep");
     let Some(capture_dev) = opts.fleet.first() else {
         return Err(FleetError::EmptyFleet);
     };
@@ -432,6 +433,11 @@ pub fn fleet_sweep(app: &dyn Benchmark, opts: &FleetOptions) -> Result<FleetRepo
     // Static pruning, identical to the tuner's.
     let mut statuses: Vec<Option<FleetStatus>> =
         cands.iter().map(|k| prune_reason(&model, &base, k).map(FleetStatus::Pruned)).collect();
+    for st in statuses.iter().flatten() {
+        if let FleetStatus::Pruned(reason) = st {
+            crate::tuner::count_prune_reason(reason);
+        }
+    }
     let eval_idx: Vec<usize> = (0..cands.len()).filter(|&i| statuses[i].is_none()).collect();
     let n_defaults = leading_default_count(&model, &opts.space, &cands, &eval_idx);
 
@@ -439,6 +445,7 @@ pub fn fleet_sweep(app: &dyn Benchmark, opts: &FleetOptions) -> Result<FleetRepo
     let mut functional_runs = 0u64;
     let mut retimings = 0u64;
     run_waves(
+        "fleet.wave",
         &eval_idx,
         n_defaults,
         &opts.budget,
@@ -505,6 +512,8 @@ pub fn fleet_sweep(app: &dyn Benchmark, opts: &FleetOptions) -> Result<FleetRepo
             statuses[i] = Some(FleetStatus::Skipped);
         }
     }
+    dpcons_obs::counter("fleet.captures").add(functional_runs);
+    dpcons_obs::counter("fleet.retimings").add(retimings);
 
     let candidates: Vec<FleetCandidate> = cands
         .into_iter()

@@ -119,7 +119,9 @@ pub(crate) fn leading_default_count(
 /// patience. `evaluate` runs one batch (parallel inside); `record` stores one
 /// result and reports whether it improved the incumbent(s) — patience only
 /// stops the sweep once at least one improvement has ever been recorded.
+/// Each wave is traced as a `wave_span` span carrying the wave number.
 pub(crate) fn run_waves<S>(
+    wave_span: &'static str,
     eval_idx: &[usize],
     n_defaults: usize,
     budget: &Budget,
@@ -131,6 +133,7 @@ pub(crate) fn run_waves<S>(
     let mut stale_waves = 0usize;
     let mut any_best = false;
     let mut pos = 0usize;
+    let mut wave_no = 0u64;
     while pos < eval_idx.len() {
         let room = max_evals.saturating_sub(evaluated);
         if room == 0 {
@@ -138,7 +141,11 @@ pub(crate) fn run_waves<S>(
         }
         let end = (pos + WAVE_SIZE.min(room)).min(eval_idx.len());
         let batch = &eval_idx[pos..end];
-        let results = evaluate(batch);
+        let results = {
+            let _wave = dpcons_obs::span_n(wave_span, wave_no);
+            evaluate(batch)
+        };
+        wave_no += 1;
         let mut improved = false;
         for (&i, st) in batch.iter().zip(results) {
             improved |= record(i, st);
@@ -300,8 +307,12 @@ pub fn evaluate_candidate(
     k: &Knobs,
     expected: &[i64],
 ) -> Status {
+    // `tune.candidate_us` histogram: wall-clock per candidate evaluation.
+    static HIST: std::sync::OnceLock<&'static dpcons_obs::Histogram> = std::sync::OnceLock::new();
+    let hist = HIST.get_or_init(|| dpcons_obs::histogram("tune.candidate_us"));
+    let started = std::time::Instant::now();
     let cfg = candidate_config(base, k);
-    match app.run(Variant::ConsolidatedTuned, &cfg) {
+    let status = match app.run(Variant::ConsolidatedTuned, &cfg) {
         Ok(out) => Status::Evaluated(Metrics {
             cycles: out.report.total_cycles,
             device_launches: out.report.device_launches,
@@ -310,7 +321,9 @@ pub fn evaluate_candidate(
             output_ok: out.output == expected,
         }),
         Err(e) => Status::Failed(e.to_string()),
-    }
+    };
+    hist.record(started.elapsed().as_micros() as u64);
+    status
 }
 
 fn cache_key(
@@ -339,8 +352,17 @@ fn cache_key(
     h.finish()
 }
 
+/// Record one `tune.pruned.<family>` counter per pruned candidate, where the
+/// family is the reason's prefix before the first `:` ("analysis",
+/// "occupancy", "heap") — a bounded set, so the metric namespace stays small.
+pub(crate) fn count_prune_reason(reason: &str) {
+    let family = reason.split(':').next().unwrap_or("other").trim();
+    dpcons_obs::counter(&format!("tune.pruned.{family}")).inc();
+}
+
 /// Run (or fetch from cache) a full tuning sweep for `app`.
 pub fn tune(app: &dyn Benchmark, opts: &TuneOptions) -> Result<TuneReport, TuneError> {
+    let _sweep = dpcons_obs::span("tune.sweep");
     let model =
         app.tune_model().ok_or_else(|| TuneError::NotTunable { app: app.name().to_string() })?;
     if opts.space.is_empty() || opts.space.granularities.is_empty() {
@@ -361,6 +383,11 @@ pub fn tune(app: &dyn Benchmark, opts: &TuneOptions) -> Result<TuneReport, TuneE
     // Static pruning.
     let mut statuses: Vec<Option<Status>> =
         cands.iter().map(|k| prune_reason(&model, &opts.base, k).map(Status::Pruned)).collect();
+    for st in statuses.iter().flatten() {
+        if let Status::Pruned(reason) = st {
+            count_prune_reason(reason);
+        }
+    }
     let eval_idx: Vec<usize> = (0..cands.len()).filter(|&i| statuses[i].is_none()).collect();
 
     // Baselines. A failed baseline run is omitted from the report (never
@@ -383,6 +410,7 @@ pub fn tune(app: &dyn Benchmark, opts: &TuneOptions) -> Result<TuneReport, TuneE
 
     let mut best: Option<(u64, usize)> = None;
     run_waves(
+        "tune.wave",
         &eval_idx,
         n_defaults,
         &opts.budget,

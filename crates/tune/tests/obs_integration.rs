@@ -1,0 +1,77 @@
+//! Observability contract of the tuner: disabled tracing records **zero**
+//! spans, enabled tracing covers the sweep and every wave, and a warm
+//! second sweep is visible as cache hits in the metrics registry.
+//!
+//! This is deliberately the only test in this integration-test binary — the
+//! span rings, the tracing flag, and the metrics registry are process-wide,
+//! and a lone test owns its whole process, so nothing but these sweeps can
+//! perturb what it observes.
+
+use std::path::PathBuf;
+
+use dpcons_apps::{datasets, Profile, RunConfig, Sssp};
+use dpcons_tune::{tune, Budget, Cache, TuneOptions};
+
+fn opts(cache: Option<PathBuf>) -> TuneOptions {
+    let cache = cache.map(|dir| Cache::new(Some(dir)));
+    TuneOptions {
+        base: RunConfig::default(),
+        space: dpcons_core::KnobSpace::quick(RunConfig::default().gpu.num_sms),
+        budget: Budget { max_evals: Some(6), patience: Some(1) },
+        with_baselines: false,
+        cache,
+    }
+}
+
+#[test]
+fn tracing_and_cache_metrics_across_cold_and_warm_sweeps() {
+    let app = Sssp::new(datasets::citeseer(Profile::Test).with_weights(15, 0xD15), 0);
+    let dir = std::env::temp_dir().join(format!("dpcons-obs-itest-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // 1. Tracing disabled (the default): a full sweep records no spans at all.
+    assert!(!dpcons_obs::tracing_enabled());
+    let cold = tune(&app, &opts(Some(dir.clone()))).expect("cold sweep");
+    assert!(cold.evaluated > 0);
+    assert!(dpcons_obs::take_spans().is_empty(), "disabled tracing must record zero spans");
+
+    // The cold sweep missed the cache and then wrote its report.
+    let misses = dpcons_obs::counter("tune.cache.misses").get();
+    let writes = dpcons_obs::counter("tune.cache.writes").get();
+    assert!(misses >= 1, "cold sweep must miss the empty cache");
+    assert!(writes >= 1, "cold sweep must write its report to the cache");
+    let hits_before = dpcons_obs::counter("tune.cache.hits").get();
+
+    // 2. Tracing enabled: the identical sweep is a warm cache hit, and the
+    // spans cover the sweep itself. (A cache hit skips the waves, so wave
+    // spans are asserted on a cache-less sweep below.)
+    dpcons_obs::set_tracing(true);
+    let warm = tune(&app, &opts(Some(dir.clone()))).expect("warm sweep");
+    let hits = dpcons_obs::counter("tune.cache.hits").get();
+    assert!(hits > hits_before, "warm identical sweep must hit the cache");
+    assert_eq!(warm.to_text(), cold.to_text(), "cache hit reproduces the report byte-exactly");
+
+    let uncached = tune(&app, &opts(None)).expect("uncached sweep");
+    assert!(uncached.evaluated > 0);
+    dpcons_obs::set_tracing(false);
+
+    let spans = dpcons_obs::take_spans();
+    assert!(!spans.is_empty());
+    let sweeps = spans.iter().filter(|s| s.name == "tune.sweep").count();
+    assert_eq!(sweeps, 2, "both traced sweeps open a tune.sweep span");
+    let waves: Vec<_> = spans.iter().filter(|s| s.name == "tune.wave").collect();
+    assert!(!waves.is_empty(), "the uncached sweep must trace its waves");
+    // Wave spans carry the wave number and nest under the sweep.
+    assert_eq!(waves[0].arg, Some(0));
+    assert!(waves.iter().all(|w| w.depth > 0));
+    // Every evaluated candidate's latency landed in the histogram.
+    assert!(dpcons_obs::histogram("tune.candidate_us").count() >= uncached.evaluated as u64);
+
+    // 3. The export of those spans is a balanced, well-formed Chrome trace.
+    let json = dpcons_obs::chrome_trace_json(&spans);
+    let stats = dpcons_obs::validate_chrome_trace(&json).expect("trace must validate");
+    assert_eq!(stats.span_count, spans.len());
+    assert!(stats.names.contains(&"tune.wave".to_string()));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

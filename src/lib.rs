@@ -11,7 +11,9 @@
 //! * [`compiler`] — the paper's contribution: the `#pragma dp` directive and
 //!   the warp/block/grid workload-consolidation transformations,
 //! * [`workloads`] — graph/tree generators and CPU reference algorithms,
-//! * [`apps`] — the seven IPDPS'16 benchmarks and the variant runner.
+//! * [`apps`] — the seven IPDPS'16 benchmarks and the variant runner,
+//! * [`obs`] — host-side observability: metrics registry, span tracing, and
+//!   Chrome-trace export for the capture/replay/tune pipeline.
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour, and `DESIGN.md` /
 //! `EXPERIMENTS.md` for the experiment inventory.
@@ -19,6 +21,7 @@
 pub use dpcons_apps as apps;
 pub use dpcons_core as compiler;
 pub use dpcons_ir as ir;
+pub use dpcons_obs as obs;
 pub use dpcons_sim as sim;
 pub use dpcons_tune as tune;
 pub use dpcons_workloads as workloads;

@@ -1,0 +1,112 @@
+//! Launch-tree summaries (`sim::trace::summarize`) on real captures: a
+//! hand-built deep recursion chain (depth > 8), a hand-built branching tree,
+//! and a generated Tree Descendants dataset. Every expectation is either
+//! hand-computed from the tree shape or derived independently of the
+//! summarizer, so these pin the `kernels_per_level` / `subtree_launches`
+//! semantics against the actual capture pipeline.
+
+use dpcons::apps::{Benchmark, RunConfig, TreeDescendants, Variant};
+use dpcons::sim::trace::summarize;
+use dpcons::workloads::{generate_tree, Tree, TreeParams};
+
+/// Capture the BasicDp run of Tree Descendants on `tree` and summarize its
+/// single host launch.
+fn capture_summary(tree: Tree) -> (dpcons::sim::trace::LaunchTree, i64) {
+    let app = TreeDescendants::new(tree);
+    let cfg = RunConfig { capture: true, ..RunConfig::default() };
+    let out = app.run(Variant::BasicDp, &cfg).expect("basic-dp run");
+    let caps = out.captures.expect("capture was enabled");
+    assert_eq!(caps.launches.len(), 1, "TD basic-dp is a single host launch");
+    (summarize(&caps.launches[0]), out.output[0])
+}
+
+#[test]
+fn deep_chain_summary_is_exact() {
+    // A 12-node path 0 → 1 → ... → 11: every node but the last has exactly
+    // one child, so td_rec recurses once per interior child and the launch
+    // tree is a chain of depth 10 (the leaf's parent launches nothing).
+    let n = 12;
+    let mut child_ptr: Vec<i64> = (0..n as i64).collect();
+    child_ptr.push((n - 1) as i64); // node 11 is a leaf: [11, 11)
+    let children: Vec<i64> = (1..n as i64).collect();
+    let tree = Tree { n, child_ptr, children, root: 0 };
+    tree.validate().expect("hand-built path tree is well-formed");
+
+    let (t, descendants) = capture_summary(tree);
+    assert_eq!(descendants, 11);
+
+    // Kernels: the host launch for node 0, plus one device launch per
+    // interior non-root node (1..=10) — node 11 is a leaf.
+    assert_eq!(t.kernels.len(), 11);
+    assert_eq!(t.max_depth(), 10, "the chain must recurse past depth 8");
+    assert_eq!(t.kernels_per_level(), vec![1; 11]);
+    // Each link launches the rest of the chain below it: 10, 9, ..., 0.
+    let subtrees: Vec<u64> = t.kernels.iter().map(|k| k.subtree_launches).collect();
+    assert_eq!(subtrees, (0..=10).rev().collect::<Vec<u64>>());
+    // Every kernel launches exactly one child except the deepest.
+    let kids: Vec<u32> = t.kernels.iter().map(|k| k.children).collect();
+    assert_eq!(kids, [vec![1; 10], vec![0]].concat());
+    // Single-child nodes run one block of one thread.
+    assert!(t.kernels.iter().all(|k| k.grid == 1 && k.block == 1));
+}
+
+#[test]
+fn branching_tree_summary_is_exact() {
+    // 0 → {1, 2}, 1 → {3, 4}, 3 → {5}: only nodes 1 and 3 are interior
+    // non-root nodes, so the capture holds exactly three kernels.
+    let tree =
+        Tree { n: 6, child_ptr: vec![0, 2, 4, 4, 5, 5, 5], children: vec![1, 2, 3, 4, 5], root: 0 };
+    tree.validate().expect("hand-built branching tree is well-formed");
+
+    let (t, descendants) = capture_summary(tree);
+    assert_eq!(descendants, 5);
+    assert_eq!(t.kernels.len(), 3);
+    assert_eq!(t.kernels_per_level(), vec![1, 1, 1]);
+    let subtrees: Vec<u64> = t.kernels.iter().map(|k| k.subtree_launches).collect();
+    assert_eq!(subtrees, vec![2, 1, 0]);
+    let kids: Vec<u32> = t.kernels.iter().map(|k| k.children).collect();
+    assert_eq!(kids, vec![1, 1, 0]);
+    // The root kernel runs with block = root degree; recursion launches
+    // block = min(child degree, 256).
+    assert_eq!((t.kernels[0].grid, t.kernels[0].block), (1, 2));
+    assert_eq!((t.kernels[1].grid, t.kernels[1].block), (1, 2));
+    assert_eq!((t.kernels[2].grid, t.kernels[2].block), (1, 1));
+}
+
+#[test]
+fn generated_dataset_summary_matches_tree_shape() {
+    // A real TD dataset: expectations computed from the Tree itself (node
+    // depths + interior counts), independently of the summarizer.
+    let tree = generate_tree(TreeParams::dataset2_scaled(3, 6, 23));
+    let mut depth = vec![0u32; tree.n];
+    let mut order = vec![tree.root as usize];
+    let mut i = 0;
+    while i < order.len() {
+        let v = order[i];
+        for &c in tree.children_of(v) {
+            depth[c as usize] = depth[v] + 1;
+            order.push(c as usize);
+        }
+        i += 1;
+    }
+    // Kernel at record-depth d = interior node at tree-depth d (the root's
+    // kernel is the host launch; each interior non-root node gets one
+    // device launch at its own depth).
+    let max_interior_depth =
+        (0..tree.n).filter(|&v| tree.degree(v) > 0).map(|v| depth[v]).max().unwrap();
+    let mut expect_per_level = vec![0u64; max_interior_depth as usize + 1];
+    for v in 0..tree.n {
+        if v == tree.root as usize || tree.degree(v) > 0 {
+            expect_per_level[depth[v] as usize] += 1;
+        }
+    }
+
+    let (t, descendants) = capture_summary(tree.clone());
+    assert_eq!(descendants, tree.descendants());
+    assert_eq!(t.kernels_per_level(), expect_per_level);
+    // The root's subtree covers every device launch in the capture.
+    let interior_below_root =
+        (0..tree.n).filter(|&v| v != tree.root as usize && tree.degree(v) > 0).count();
+    assert_eq!(t.kernels[0].subtree_launches, interior_below_root as u64);
+    assert_eq!(t.kernels.len(), interior_below_root + 1);
+}
