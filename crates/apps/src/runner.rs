@@ -135,6 +135,11 @@ pub struct RunConfig {
     /// — bit-identical to a plain run, which
     /// `crates/sim/tests/replay_differential.rs` pins.
     pub capture: bool,
+    /// Functional step budget for the whole session (all host launches
+    /// share one [`dpcons_sim::FuelMeter`]); `None` = unlimited. A limited
+    /// budget turns a hung or exploding run into a deterministic
+    /// `SimError::FuelExhausted` — the tuner's candidate watchdog.
+    pub fuel: Option<u64>,
 }
 
 impl Default for RunConfig {
@@ -148,6 +153,7 @@ impl Default for RunConfig {
             pool_words: 1 << 22,
             tuned: None,
             capture: false,
+            fuel: None,
         }
     }
 }
@@ -276,6 +282,7 @@ impl VariantSession {
             }
         };
         let mut engine = Engine::new(cfg.gpu.clone(), cfg.alloc, cfg.heap_words);
+        engine.fuel = dpcons_sim::FuelMeter::new(cfg.fuel);
         let ids = install(&mut engine, &module)?;
         Ok(VariantSession {
             engine,

@@ -4,7 +4,7 @@
 //! reproduce [fig5] [fig6] [fig7] [fig8] [fig9] [fig10] [ablations] [verify]
 //!           [tune] [fleet] [micro] [all] [--tune] [--fleet] [--devices a,b,c]
 //!           [--profile test|bench] [--markdown] [--json PATH]
-//!           [--trace PATH] [--metrics] [--quiet]
+//!           [--trace PATH] [--metrics] [--quiet] [--strict]
 //! ```
 //!
 //! With no figure argument, everything except the tuning and fleet sweeps
@@ -42,6 +42,12 @@
 //! consolidated granularities / tuned) is written so future changes have a
 //! performance trajectory to compare against; `--json PATH` overrides the
 //! destination.
+//!
+//! Exit status: `0` clean, `2` usage error, `1` hard failure (verification
+//! mismatch, or any faulted candidate under `--strict`), `3` the sweeps
+//! completed but some candidates faulted (panicked / timed out / failed) and
+//! were skipped. Faulted candidates are listed one per line and summarized
+//! even under `--quiet`, so automation never silently loses a data point.
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -58,7 +64,7 @@ fn usage_err(msg: &str) -> ! {
     eprintln!(
         "usage: reproduce [experiments...] [--profile test|bench] [--markdown] \
          [--json PATH] [--tune] [--fleet] [--devices a,b,c] [--trace PATH] \
-         [--metrics] [--quiet]"
+         [--metrics] [--quiet] [--strict]"
     );
     std::process::exit(2);
 }
@@ -68,6 +74,7 @@ fn main() {
     let mut profile = Profile::Bench;
     let mut markdown = false;
     let mut quiet = false;
+    let mut strict = false;
     let mut metrics = false;
     let mut trace_path: Option<PathBuf> = None;
     let mut json_path = PathBuf::from("BENCH_reproduce.json");
@@ -85,6 +92,7 @@ fn main() {
             },
             "--markdown" => markdown = true,
             "--quiet" => quiet = true,
+            "--strict" => strict = true,
             "--metrics" => metrics = true,
             "--trace" => match it.next() {
                 Some(p) => trace_path = Some(PathBuf::from(p)),
@@ -169,6 +177,7 @@ fn main() {
     };
 
     let mut tuned: Option<Vec<(String, TuneReport)>> = None;
+    let mut fleet_results: Option<Vec<(String, FleetReport)>> = None;
     for f in &figs {
         let t0 = Instant::now();
         match f.as_str() {
@@ -204,6 +213,7 @@ fn main() {
                     Ok(()) => progress(format!("[wrote {}]", fleet_path.display())),
                     Err(e) => eprintln!("[failed to write {}: {e}]", fleet_path.display()),
                 }
+                fleet_results = Some(fleet);
             }
             "micro" => {
                 let results = micro_all(profile, &cfg);
@@ -244,5 +254,26 @@ fn main() {
     }
     if metrics {
         println!("{}", dpcons_obs::render_metrics_table());
+    }
+
+    // Fault accounting decides the exit status, so downstream automation can
+    // distinguish "completed, but some candidates were skipped" from a clean
+    // run. The summary line always prints when a sweep ran — `--quiet` only
+    // silences progress, never fault reporting.
+    if tuned.is_some() || fleet_results.is_some() {
+        let tuned_rows = tuned.as_deref().unwrap_or(&[]);
+        let fleet_rows = fleet_results.as_deref().unwrap_or(&[]);
+        let faults = tune_fault_count(tuned_rows) + fleet_fault_count(fleet_rows);
+        for line in fault_lines(tuned_rows, fleet_rows) {
+            eprintln!("fault: {line}");
+        }
+        println!("fault summary: {faults} faulted candidate(s) across the selected sweeps");
+        if faults > 0 {
+            if strict {
+                eprintln!("reproduce: --strict and {faults} candidate(s) faulted");
+                std::process::exit(1);
+            }
+            std::process::exit(3);
+        }
     }
 }

@@ -472,7 +472,7 @@ pub fn tune_all(
             let opts = TuneOptions {
                 base: cfg.clone(),
                 space: KnobSpace::quick(cfg.gpu.num_sms),
-                budget: Budget { max_evals: Some(48), patience: Some(3) },
+                budget: Budget { max_evals: Some(48), patience: Some(3), ..Budget::default() },
                 with_baselines: true,
                 cache: Some(Cache::new(cache_dir.clone())),
             };
@@ -480,6 +480,47 @@ pub fn tune_all(
             (app.name().to_string(), report)
         })
         .collect()
+}
+
+/// Total faulted candidates (panicked, timed out, or failed) across a set of
+/// tuning sweeps.
+pub fn tune_fault_count(tuned: &[(String, TuneReport)]) -> usize {
+    tuned.iter().map(|(_, r)| r.fault_count()).sum()
+}
+
+/// Total faulted candidates across a set of fleet sweeps.
+pub fn fleet_fault_count(results: &[(String, FleetReport)]) -> usize {
+    results.iter().map(|(_, r)| r.fault_count()).sum()
+}
+
+/// One human-readable line per faulted candidate across tune and fleet
+/// sweeps — the `reproduce` CLI prints these so no skipped candidate goes
+/// unreported, even under `--quiet`.
+pub fn fault_lines(tuned: &[(String, TuneReport)], fleet: &[(String, FleetReport)]) -> Vec<String> {
+    let mut lines = Vec::new();
+    for (app, r) in tuned {
+        for (_, c) in r.faulted() {
+            let desc = match &c.status {
+                dpcons_tune::Status::Panicked(m) => format!("panicked: {m}"),
+                dpcons_tune::Status::TimedOut(m) => format!("timed out: {m}"),
+                dpcons_tune::Status::Failed(m) => format!("failed: {m}"),
+                _ => continue,
+            };
+            lines.push(format!("tune {app}: {} {desc}", c.knobs.label()));
+        }
+    }
+    for (app, r) in fleet {
+        for (_, c) in r.faulted() {
+            let desc = match &c.status {
+                dpcons_tune::FleetStatus::Panicked(m) => format!("panicked: {m}"),
+                dpcons_tune::FleetStatus::TimedOut(m) => format!("timed out: {m}"),
+                dpcons_tune::FleetStatus::Failed(m) => format!("failed: {m}"),
+                _ => continue,
+            };
+            lines.push(format!("fleet {app}: {} {desc}", c.knobs.label()));
+        }
+    }
+    lines
 }
 
 /// Tuned-vs-paper-default summary: how the autotuned directive compares to
@@ -494,6 +535,7 @@ pub fn tuned_table(matrix: &[AppResults], tuned: &[(String, TuneReport)]) -> Tab
             "vs grid-default",
             "vs best-default",
             "evaluated",
+            "faults",
             "cache",
         ],
     );
@@ -521,6 +563,7 @@ pub fn tuned_table(matrix: &[AppResults], tuned: &[(String, TuneReport)]) -> Tab
             vs_grid,
             vs_best,
             format!("{}/{}", report.evaluated, report.candidates.len()),
+            report.fault_count().to_string(),
             if report.from_cache { "hit" } else { "miss" }.into(),
         ]);
     }
@@ -547,7 +590,7 @@ pub fn fleet_all(
             let opts = FleetOptions {
                 base: cfg.clone(),
                 space: KnobSpace::quick(fleet[0].num_sms),
-                budget: Budget { max_evals: Some(24), patience: Some(3) },
+                budget: Budget { max_evals: Some(24), patience: Some(3), ..Budget::default() },
                 fleet: fleet.to_vec(),
                 cache: Some(Cache::new(cache_dir.clone())),
             };
@@ -571,7 +614,7 @@ pub fn transfer_all(cfg: &RunConfig, cache_dir: Option<PathBuf>) -> Vec<(String,
             let opts = TuneOptions {
                 base: cfg.clone(),
                 space: KnobSpace::quick(cfg.gpu.num_sms),
-                budget: Budget { max_evals: Some(16), patience: Some(2) },
+                budget: Budget { max_evals: Some(16), patience: Some(2), ..Budget::default() },
                 with_baselines: false,
                 cache: Some(Cache::new(cache_dir.clone())),
             };
@@ -585,14 +628,20 @@ pub fn transfer_all(cfg: &RunConfig, cache_dir: Option<PathBuf>) -> Vec<(String,
 /// Per-device winners of the fleet sweep, one row per app.
 pub fn fleet_table(results: &[(String, FleetReport)]) -> Table {
     let devices: Vec<String> = results.first().map(|(_, r)| r.devices.clone()).unwrap_or_default();
-    let mut header = vec!["app".to_string(), "runs".to_string(), "datapoints".to_string()];
+    let mut header =
+        vec!["app".to_string(), "runs".to_string(), "datapoints".to_string(), "faults".to_string()];
     header.extend(devices.iter().cloned());
     let mut t = Table::new(
         "Fleet what-if sweep: per-device winning knobs (cycles)",
         header.iter().map(String::as_str).collect::<Vec<_>>(),
     );
     for (name, r) in results {
-        let mut row = vec![name.clone(), r.functional_runs.to_string(), r.retimings.to_string()];
+        let mut row = vec![
+            name.clone(),
+            r.functional_runs.to_string(),
+            r.retimings.to_string(),
+            r.fault_count().to_string(),
+        ];
         for d in 0..r.devices.len() {
             row.push(match (r.winner_knobs(d), r.winner_cycles(d)) {
                 (Some(k), Some(c)) => format!("{} ({c})", k.label()),

@@ -99,7 +99,7 @@ pub fn micro_app(app: &dyn Benchmark, cfg: &RunConfig) -> MicroResult {
     let opts = TuneOptions {
         base: cfg.clone(),
         space: KnobSpace::quick(cfg.gpu.num_sms),
-        budget: Budget { max_evals: Some(8), patience: Some(1) },
+        budget: Budget { max_evals: Some(8), patience: Some(1), ..Budget::default() },
         with_baselines: false,
         cache: None,
     };

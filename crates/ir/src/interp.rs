@@ -445,6 +445,11 @@ impl WarpExec<'_, '_, '_> {
     }
 
     fn bump_iters(&mut self) -> Result<(), SimError> {
+        // Charge the engine's functional fuel budget first: a limited meter
+        // (the tuner's candidate watchdog) converts runaway loops into a
+        // deterministic `SimError::FuelExhausted` long before the per-warp
+        // safety valve below would trip.
+        self.ctx.fuel.spend(1)?;
         self.iters += 1;
         if self.iters > MAX_WARP_ITERATIONS {
             return Err(self.fault("warp exceeded the loop-iteration safety limit"));

@@ -23,6 +23,10 @@
 //!   parser) that CI uses to prove emitted traces are well-formed and every
 //!   begin event has a matching end.
 //!
+//! A fourth small piece, [`warn`], emits process-wide deduplicated
+//! degraded-mode warnings ([`warn_once`]) so a cache falling back to
+//! memory-only mode is reported exactly once, not once per sweep.
+//!
 //! Wall-clock timestamps live only in traces and stage summaries, never in
 //! the deterministic `BENCH_*` fields that tests pin.
 
@@ -30,6 +34,7 @@ pub mod chrome;
 pub mod jsonv;
 pub mod metrics;
 pub mod trace;
+pub mod warn;
 
 pub use chrome::{chrome_trace_json, validate_chrome_trace, TraceStats};
 pub use metrics::{
@@ -40,3 +45,4 @@ pub use trace::{
     dropped_spans, set_tracing, span, span_n, stage_summary, take_spans, tracing_enabled, Span,
     SpanRec,
 };
+pub use warn::{reset_warnings, warn_once};

@@ -1,0 +1,50 @@
+//! One-shot process-wide warnings.
+//!
+//! Degraded-mode events (a cache directory that cannot be written, a
+//! quarantined cache file) should be visible exactly once, not once per
+//! sweep iteration. [`warn_once`] deduplicates by caller-chosen key for the
+//! process lifetime and counts emissions in the `obs.warnings` counter so
+//! tests can assert on them without capturing stderr.
+
+use std::collections::HashSet;
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+use crate::metrics::counter;
+
+fn seen() -> &'static Mutex<HashSet<String>> {
+    static SEEN: OnceLock<Mutex<HashSet<String>>> = OnceLock::new();
+    SEEN.get_or_init(|| Mutex::new(HashSet::new()))
+}
+
+/// Emit `msg` to stderr at most once per `key` for the process lifetime.
+/// Returns whether the warning was actually emitted (false = deduplicated).
+pub fn warn_once(key: &str, msg: &str) -> bool {
+    let mut seen = seen().lock().unwrap_or_else(PoisonError::into_inner);
+    if !seen.insert(key.to_string()) {
+        return false;
+    }
+    counter("obs.warnings").inc();
+    eprintln!("warning: {msg}");
+    true
+}
+
+/// Forget every emitted warning so tests can re-trigger them.
+pub fn reset_warnings() {
+    seen().lock().unwrap_or_else(PoisonError::into_inner).clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deduplicates_by_key() {
+        reset_warnings();
+        assert!(warn_once("warn-test-a", "first"));
+        assert!(!warn_once("warn-test-a", "second"));
+        assert!(warn_once("warn-test-b", "different key"));
+        reset_warnings();
+        assert!(warn_once("warn-test-a", "after reset"));
+        reset_warnings();
+    }
+}

@@ -22,7 +22,7 @@ use std::sync::{Arc, OnceLock};
 
 use crate::alloc::{AllocKind, DeviceHeap};
 use crate::config::GpuConfig;
-use crate::kernel::{BlockCtx, BlockResult, KernelBody, KernelId, LaunchSpec};
+use crate::kernel::{BlockCtx, BlockResult, FuelMeter, KernelBody, KernelId, LaunchSpec};
 use crate::mem::GlobalMem;
 use crate::profiler::ProfileReport;
 use crate::SimError;
@@ -73,6 +73,12 @@ pub struct Engine {
     by_name: HashMap<String, KernelId>,
     /// Safety valve against runaway recursion in the functional phase.
     pub max_kernel_execs: usize,
+    /// Functional step budget shared by every launch on this engine (one
+    /// step per block plus one per warp loop iteration in the IR
+    /// interpreter). Unlimited by default; `dpcons-tune` installs a limited
+    /// meter per candidate session so pathological knob combinations fault
+    /// with [`SimError::FuelExhausted`] instead of hanging the sweep.
+    pub fuel: FuelMeter,
 }
 
 impl Engine {
@@ -88,6 +94,7 @@ impl Engine {
             kernels: Vec::new(),
             by_name: HashMap::new(),
             max_kernel_execs: 20_000_000,
+            fuel: FuelMeter::unlimited(),
         }
     }
 
@@ -195,6 +202,7 @@ impl Engine {
             let body = Arc::clone(&self.kernels[spec.kernel]);
             let mut blocks = Vec::with_capacity(spec.grid as usize);
             for b in 0..spec.grid {
+                self.fuel.spend(1)?;
                 let mut touched = std::collections::HashSet::new();
                 let mut ctx = BlockCtx {
                     block_id: b,
@@ -207,6 +215,7 @@ impl Engine {
                     heap: &mut self.heap,
                     cost: &self.gpu.costs,
                     touched_segments: &mut touched,
+                    fuel: &mut self.fuel,
                 };
                 let result = body.run_block(&mut ctx)?;
                 for (s, seg) in result.segments.iter().enumerate() {

@@ -81,6 +81,66 @@ impl BlockResult {
     }
 }
 
+/// Deterministic step budget for the functional phase.
+///
+/// A "step" is one unit of forward progress a kernel body charges via
+/// [`FuelMeter::spend`] — the IR interpreter charges one per warp loop
+/// iteration, and the engine charges one per block executed. An unlimited
+/// meter (the default) costs a single branch per charge; a limited meter
+/// turns a hung or exploding configuration into a deterministic
+/// [`SimError::FuelExhausted`] at the exact same step on every machine —
+/// the watchdog primitive `dpcons-tune` uses to bound candidate runs
+/// without machine-dependent wall-clock timeouts.
+#[derive(Debug, Clone)]
+pub struct FuelMeter {
+    limit: Option<u64>,
+    remaining: u64,
+}
+
+impl FuelMeter {
+    /// A meter that never exhausts (the engine default).
+    pub fn unlimited() -> FuelMeter {
+        FuelMeter { limit: None, remaining: 0 }
+    }
+
+    /// A meter with `limit` steps of fuel; `None` means unlimited.
+    pub fn new(limit: Option<u64>) -> FuelMeter {
+        FuelMeter { limit, remaining: limit.unwrap_or(0) }
+    }
+
+    pub fn limit(&self) -> Option<u64> {
+        self.limit
+    }
+
+    /// Steps left, `None` when unlimited.
+    pub fn remaining(&self) -> Option<u64> {
+        self.limit.map(|_| self.remaining)
+    }
+
+    /// Charge `n` steps of progress.
+    #[inline]
+    pub fn spend(&mut self, n: u64) -> Result<(), SimError> {
+        match self.limit {
+            None => Ok(()),
+            Some(limit) => {
+                if self.remaining < n {
+                    self.remaining = 0;
+                    Err(SimError::FuelExhausted { limit })
+                } else {
+                    self.remaining -= n;
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+impl Default for FuelMeter {
+    fn default() -> Self {
+        FuelMeter::unlimited()
+    }
+}
+
 /// Execution context handed to [`KernelBody::run_block`].
 pub struct BlockCtx<'a> {
     pub block_id: u32,
@@ -97,6 +157,10 @@ pub struct BlockCtx<'a> {
     /// cache instead of DRAM. Larger (consolidated) blocks reuse more —
     /// the caching effect Section V.D credits for the DRAM reduction.
     pub touched_segments: &'a mut HashSet<u64>,
+    /// Shared functional step budget ([`crate::engine::Engine::fuel`]); kernel
+    /// bodies charge loop iterations against it so runaway candidates fault
+    /// deterministically instead of spinning.
+    pub fuel: &'a mut FuelMeter,
 }
 
 /// The functional behaviour of a kernel.

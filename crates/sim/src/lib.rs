@@ -32,7 +32,9 @@ pub mod trace;
 pub use alloc::{AllocKind, DeviceHeap, HeapStats};
 pub use config::{parse_fleet, CostModel, FleetSpecError, GpuConfig};
 pub use engine::{functional_execs_total, Engine, ExecRecord};
-pub use kernel::{BlockCtx, BlockResult, KernelBody, KernelId, LaunchSpec, SegmentResult};
+pub use kernel::{
+    BlockCtx, BlockResult, FuelMeter, KernelBody, KernelId, LaunchSpec, SegmentResult,
+};
 pub use mem::{coalesced_transactions, ArrayId, GlobalMem};
 pub use profiler::ProfileReport;
 pub use trace::{summarize, DepthLevel, KernelSummary, LaunchTree};
@@ -78,6 +80,12 @@ pub enum SimError {
     KernelExecLimit {
         limit: usize,
     },
+    /// The functional phase spent its step budget ([`kernel::FuelMeter`]):
+    /// the candidate watchdog's deterministic alternative to a wall-clock
+    /// timeout for hung or exploding configurations.
+    FuelExhausted {
+        limit: u64,
+    },
     /// Raised by kernel bodies (e.g. the IR interpreter) for program errors.
     KernelFault {
         kernel: String,
@@ -115,6 +123,10 @@ impl std::fmt::Display for SimError {
             SimError::KernelExecLimit { limit } => write!(
                 f,
                 "kernel execution count exceeded the safety limit of {limit}"
+            ),
+            SimError::FuelExhausted { limit } => write!(
+                f,
+                "functional fuel exhausted: the run exceeded its {limit}-step budget"
             ),
             SimError::KernelFault { kernel, message } => {
                 write!(f, "fault in kernel `{kernel}`: {message}")

@@ -1,4 +1,4 @@
-//! Deterministic results cache for tuning sweeps.
+//! Deterministic, self-healing results cache for tuning sweeps.
 //!
 //! Keyed by an FNV-1a hash of everything that determines a sweep's outcome:
 //! app identity + dataset fingerprint, the device description (including its
@@ -8,11 +8,24 @@
 //! invocations across processes are O(1). Entries store the byte-exact
 //! [`TuneReport::to_text`] form; a hit reparses it, so a cached report is
 //! guaranteed identical to what the original sweep produced.
+//!
+//! The disk layer defends itself rather than trusting the filesystem:
+//!
+//! * Every file carries a versioned envelope header with an FNV-1a checksum
+//!   and payload length. Corrupt, truncated, or stale-schema files fail
+//!   validation, are renamed to `<file>.corrupt` for post-mortem
+//!   ([`Cache::quarantine_key`]), counted in `tune.cache.corrupt` /
+//!   `tune.cache.quarantined`, and treated as plain misses.
+//! * If the directory cannot be written (read-only volume, permission
+//!   change), the handle degrades to memory-only with a single
+//!   [`dpcons_obs::warn_once`] warning — a broken cache never fails a sweep.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
-use std::sync::{Mutex, OnceLock};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 
+use crate::fault;
 use crate::report::TuneReport;
 
 /// FNV-1a over a byte stream — stable across platforms and Rust versions
@@ -58,9 +71,58 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
     Fnv64::new().write(bytes).finish()
 }
 
+// ----------------------------------------------------------- disk envelope --
+
+/// Version tag of the on-disk envelope (independent of the payload schema —
+/// bump only when the header format itself changes).
+const ENVELOPE_HEADER: &str = "dpcons-cache v1";
+
+/// Wrap entry text in the validated on-disk form:
+/// `dpcons-cache v1 <fnv1a(payload):016x> <payload byte length>\n<payload>`.
+fn encode_envelope(payload: &str) -> String {
+    format!("{ENVELOPE_HEADER} {:016x} {}\n{payload}", fnv1a(payload.as_bytes()), payload.len())
+}
+
+/// Validate an on-disk entry and return its payload, or a reason it is not
+/// trustworthy (corruption, truncation, or a stale envelope schema).
+fn decode_envelope(raw: &str) -> Result<&str, String> {
+    let Some((header, payload)) = raw.split_once('\n') else {
+        return Err("missing envelope header line".to_string());
+    };
+    let Some(rest) = header.strip_prefix(ENVELOPE_HEADER) else {
+        return Err(format!("stale or foreign envelope header `{header}`"));
+    };
+    let fields: Vec<&str> = rest.split_whitespace().collect();
+    let [checksum_hex, len_str] = fields[..] else {
+        return Err(format!("malformed envelope header `{header}`"));
+    };
+    let checksum = u64::from_str_radix(checksum_hex, 16)
+        .map_err(|_| format!("unreadable envelope checksum `{checksum_hex}`"))?;
+    let len: usize =
+        len_str.parse().map_err(|_| format!("unreadable envelope length `{len_str}`"))?;
+    if payload.len() != len {
+        return Err(format!(
+            "truncated entry: expected {len} payload bytes, found {}",
+            payload.len()
+        ));
+    }
+    if fnv1a(payload.as_bytes()) != checksum {
+        return Err("checksum mismatch: entry bytes were altered on disk".to_string());
+    }
+    Ok(payload)
+}
+
+// ------------------------------------------------------------------ layers --
+
 fn memory() -> &'static Mutex<HashMap<u64, String>> {
     static MEM: OnceLock<Mutex<HashMap<u64, String>>> = OnceLock::new();
     MEM.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+// The map holds plain strings, so a thread that panicked mid-operation left
+// it in a consistent state; recover instead of propagating the poison.
+fn mem() -> MutexGuard<'static, HashMap<u64, String>> {
+    memory().lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// `tune.cache.{hits,misses,writes}` counters, cached once per process.
@@ -84,11 +146,14 @@ fn cache_counters(
 #[derive(Debug, Clone)]
 pub struct Cache {
     pub dir: Option<PathBuf>,
+    // Set when a disk write fails; shared across clones so one handle's
+    // discovery that the directory is unwritable silences the rest.
+    disk_disabled: Arc<AtomicBool>,
 }
 
 impl Cache {
     pub fn new(dir: Option<PathBuf>) -> Cache {
-        Cache { dir }
+        Cache { dir, disk_disabled: Arc::new(AtomicBool::new(false)) }
     }
 
     /// A disk-backed cache in the platform temp directory (shared across
@@ -101,8 +166,32 @@ impl Cache {
         dir.join(format!("{key:016x}.tune"))
     }
 
+    /// Whether this handle has degraded to memory-only mode.
+    pub fn disk_disabled(&self) -> bool {
+        self.disk_disabled.load(Ordering::Relaxed)
+    }
+
+    fn disk_dir(&self) -> Option<&Path> {
+        if self.disk_disabled() {
+            return None;
+        }
+        self.dir.as_deref()
+    }
+
+    fn disable_disk(&self, dir: &Path, err: &str) {
+        if !self.disk_disabled.swap(true, Ordering::Relaxed) {
+            dpcons_obs::warn_once(
+                &format!("tune.cache.disk-disabled:{}", dir.display()),
+                &format!(
+                    "tune cache: cannot write {} ({err}); continuing memory-only",
+                    dir.display()
+                ),
+            );
+        }
+    }
+
     /// Look a key up (memory first, then disk). Corrupt or unparseable disk
-    /// entries are treated as misses.
+    /// entries are quarantined and treated as misses.
     pub fn get(&self, key: u64) -> Option<TuneReport> {
         let (hits, misses, _) = cache_counters();
         let found = self.get_report_uncounted(key);
@@ -115,25 +204,28 @@ impl Cache {
     }
 
     fn get_report_uncounted(&self, key: u64) -> Option<TuneReport> {
-        if let Some(text) = memory().lock().expect("cache poisoned").get(&key) {
+        if let Some(text) = mem().get(&key) {
             if let Ok(r) = TuneReport::from_text(text) {
                 return Some(r);
             }
         }
-        let dir = self.dir.as_ref()?;
-        let text = std::fs::read_to_string(Self::path_for(dir, key)).ok()?;
+        let text = self.read_disk(key)?;
         match TuneReport::from_text(&text) {
             Ok(r) => {
-                memory().lock().expect("cache poisoned").insert(key, text);
+                mem().insert(key, text);
                 Some(r)
             }
-            Err(_) => None,
+            Err(reason) => {
+                self.quarantine_key(key, &reason);
+                None
+            }
         }
     }
 
     /// Raw-text lookup (memory first, then disk) for report types that own
     /// their parse/validate step, e.g. the fleet report. The caller must
-    /// treat unparseable text as a miss, mirroring [`Cache::get`].
+    /// treat unparseable text as a miss, mirroring [`Cache::get`] — and
+    /// should [`Cache::quarantine_key`] it so the bad entry stops resurfacing.
     pub fn get_text(&self, key: u64) -> Option<String> {
         let (hits, misses, _) = cache_counters();
         let found = self.get_text_uncounted(key);
@@ -146,29 +238,79 @@ impl Cache {
     }
 
     fn get_text_uncounted(&self, key: u64) -> Option<String> {
-        if let Some(text) = memory().lock().expect("cache poisoned").get(&key) {
+        if let Some(text) = mem().get(&key) {
             return Some(text.clone());
         }
-        let dir = self.dir.as_ref()?;
-        let text = std::fs::read_to_string(Self::path_for(dir, key)).ok()?;
-        memory().lock().expect("cache poisoned").insert(key, text.clone());
+        let text = self.read_disk(key)?;
+        mem().insert(key, text.clone());
         Some(text)
     }
 
-    /// Store raw entry text under its key. Disk writes are atomic (tmp +
-    /// rename); I/O errors are swallowed — the cache is an accelerator, not
-    /// a correctness dependency.
-    pub fn put_text(&self, key: u64, text: &str) {
-        cache_counters().2.inc();
-        memory().lock().expect("cache poisoned").insert(key, text.to_string());
-        if let Some(dir) = &self.dir {
-            if std::fs::create_dir_all(dir).is_ok() {
-                let tmp = dir.join(format!(".{key:016x}.{}.tmp", std::process::id()));
-                if std::fs::write(&tmp, text).is_ok() {
-                    let _ = std::fs::rename(&tmp, Self::path_for(dir, key));
-                }
+    /// Read one key from disk, validating the envelope. Validation failures
+    /// quarantine the file and report a miss.
+    fn read_disk(&self, key: u64) -> Option<String> {
+        let dir = self.disk_dir()?;
+        let path = Self::path_for(dir, key);
+        let raw = std::fs::read_to_string(&path).ok()?;
+        match decode_envelope(&raw) {
+            Ok(payload) => Some(payload.to_string()),
+            Err(reason) => {
+                Self::quarantine(&path, &reason);
+                None
             }
         }
+    }
+
+    /// Move a bad entry aside as `<file>.corrupt` and drop it from the
+    /// memory layer, so it reads as a miss from now on. Used internally on
+    /// envelope validation failures and by callers whose payload parse
+    /// failed (stale payload schema).
+    pub fn quarantine_key(&self, key: u64, reason: &str) {
+        mem().remove(&key);
+        if let Some(dir) = self.dir.as_deref() {
+            let path = Self::path_for(dir, key);
+            if path.exists() {
+                Self::quarantine(&path, reason);
+            }
+        }
+    }
+
+    fn quarantine(path: &Path, reason: &str) {
+        dpcons_obs::counter("tune.cache.corrupt").inc();
+        let mut corrupt = path.as_os_str().to_os_string();
+        corrupt.push(".corrupt");
+        if std::fs::rename(path, Path::new(&corrupt)).is_ok() {
+            dpcons_obs::counter("tune.cache.quarantined").inc();
+        }
+        dpcons_obs::warn_once(
+            &format!("tune.cache.corrupt:{}", path.display()),
+            &format!("tune cache: quarantined {} ({reason})", path.display()),
+        );
+    }
+
+    /// Store raw entry text under its key. Disk writes are enveloped and
+    /// atomic (tmp + rename); on I/O failure the handle degrades to
+    /// memory-only with one warning — the cache is an accelerator, not a
+    /// correctness dependency.
+    pub fn put_text(&self, key: u64, text: &str) {
+        cache_counters().2.inc();
+        mem().insert(key, text.to_string());
+        let Some(dir) = self.disk_dir() else {
+            return;
+        };
+        if let Err(e) = Self::write_disk(dir, key, text) {
+            self.disable_disk(dir, &e);
+        }
+    }
+
+    fn write_disk(dir: &Path, key: u64, text: &str) -> Result<(), String> {
+        std::fs::create_dir_all(dir).map_err(|e| format!("create dir: {e}"))?;
+        let tmp = dir.join(format!(".{key:016x}.{}.tmp", std::process::id()));
+        std::fs::write(&tmp, encode_envelope(text)).map_err(|e| format!("write: {e}"))?;
+        let path = Self::path_for(dir, key);
+        std::fs::rename(&tmp, &path).map_err(|e| format!("rename: {e}"))?;
+        fault::maybe_corrupt_cache_file(key, &path);
+        Ok(())
     }
 
     /// Store a tune report under its key.
@@ -178,7 +320,7 @@ impl Cache {
 
     /// Drop the in-memory layer (tests use this to force disk round trips).
     pub fn clear_memory() {
-        memory().lock().expect("cache poisoned").clear();
+        mem().clear();
     }
 }
 
@@ -203,5 +345,28 @@ mod tests {
         let mut b = Fnv64::new();
         b.write_str("a").write_str("bc");
         assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn envelope_roundtrips() {
+        let payload = "dpcons-tune v2\nsome payload\nlines\n";
+        let enveloped = encode_envelope(payload);
+        assert_eq!(decode_envelope(&enveloped), Ok(payload));
+    }
+
+    #[test]
+    fn envelope_rejects_tampering() {
+        let enveloped = encode_envelope("payload line\n");
+        // Flip one payload byte: checksum mismatch.
+        let tampered = enveloped.replace("payload", "paYload");
+        assert!(decode_envelope(&tampered).unwrap_err().contains("checksum"));
+        // Drop trailing bytes: truncation.
+        let truncated = &enveloped[..enveloped.len() - 4];
+        assert!(decode_envelope(truncated).unwrap_err().contains("truncated"));
+        // Wrong version: stale schema.
+        let stale = enveloped.replace("dpcons-cache v1", "dpcons-cache v0");
+        assert!(decode_envelope(&stale).unwrap_err().contains("stale"));
+        // No header at all.
+        assert!(decode_envelope("junk").unwrap_err().contains("missing"));
     }
 }

@@ -25,13 +25,14 @@
 //! compared against that profile's own (same-space, same-budget) oracle
 //! sweep, reporting the relative regret.
 
-use dpcons_apps::{Benchmark, RunConfig, Variant};
+use dpcons_apps::{AppError, Benchmark, RunConfig, Variant};
 use dpcons_core::KnobSpace;
-use dpcons_sim::GpuConfig;
+use dpcons_sim::{GpuConfig, SimError};
 
 use crate::cache::{Cache, Fnv64};
+use crate::fault;
 use crate::knobs::Knobs;
-use crate::par::parallel_map;
+use crate::par::parallel_map_robust;
 use crate::report::Status;
 use crate::tuner::{
     candidate_config, enumerate_candidates, evaluate_candidate, fingerprint, leading_default_count,
@@ -111,6 +112,18 @@ pub enum FleetStatus {
     Rejected,
     /// Not captured: the search budget stopped the sweep first.
     Skipped,
+    /// The capture run panicked; isolated to this candidate.
+    Panicked(String),
+    /// The watchdog stopped the capture run (fuel budget exhausted or soft
+    /// deadline passed).
+    TimedOut(String),
+}
+
+impl FleetStatus {
+    /// Whether this outcome is a fault the sweep survived.
+    pub fn is_fault(&self) -> bool {
+        matches!(self, FleetStatus::Failed(_) | FleetStatus::Panicked(_) | FleetStatus::TimedOut(_))
+    }
 }
 
 /// One enumerated candidate and its outcome.
@@ -196,12 +209,22 @@ impl FleetReport {
         self.candidates.iter().filter_map(|c| c.cells().map(|cells| (c, cells)))
     }
 
+    /// Total faulted candidates (panicked + timed out + failed).
+    pub fn fault_count(&self) -> usize {
+        self.candidates.iter().filter(|c| c.status.is_fault()).count()
+    }
+
+    /// Candidates whose outcome was a fault, with their indices.
+    pub fn faulted(&self) -> impl Iterator<Item = (usize, &FleetCandidate)> {
+        self.candidates.iter().enumerate().filter(|(_, c)| c.status.is_fault())
+    }
+
     // ------------------------------------------------------ serialization --
 
     /// Deterministic textual form (the cache file format).
     pub fn to_text(&self) -> String {
         let mut s = String::new();
-        s.push_str("dpcons-fleet v1\n");
+        s.push_str("dpcons-fleet v2\n");
         s.push_str(&format!("app {}\n", self.app));
         s.push_str(&format!("fingerprint {:016x}\n", self.fingerprint));
         s.push_str(&format!("key {:016x}\n", self.key));
@@ -232,6 +255,12 @@ impl FleetReport {
                 }
                 FleetStatus::Rejected => s.push_str("rejected\n"),
                 FleetStatus::Skipped => s.push_str("skipped\n"),
+                FleetStatus::Panicked(msg) => {
+                    s.push_str(&format!("panicked {}\n", msg.replace(['\n', '\r'], " ")));
+                }
+                FleetStatus::TimedOut(msg) => {
+                    s.push_str(&format!("timedout {}\n", msg.replace(['\n', '\r'], " ")));
+                }
             }
         }
         for w in &self.winners {
@@ -249,7 +278,7 @@ impl FleetReport {
     pub fn from_text(text: &str) -> Result<FleetReport, String> {
         let mut lines = text.lines();
         let header = lines.next().ok_or("empty fleet cache entry")?;
-        if header != "dpcons-fleet v1" {
+        if header != "dpcons-fleet v2" {
             return Err(format!("unknown fleet cache version `{header}`"));
         }
         let mut app = None;
@@ -351,6 +380,8 @@ fn parse_candidate(rest: &str, n_devices: usize) -> Result<FleetCandidate, Strin
         "failed" => FleetStatus::Failed(tail.to_string()),
         "rejected" => FleetStatus::Rejected,
         "skipped" => FleetStatus::Skipped,
+        "panicked" => FleetStatus::Panicked(tail.to_string()),
+        "timedout" => FleetStatus::TimedOut(tail.to_string()),
         other => return Err(format!("unknown fleet candidate status `{other}`")),
     };
     Ok(FleetCandidate { knobs, status })
@@ -415,14 +446,22 @@ pub fn fleet_sweep(app: &dyn Benchmark, opts: &FleetOptions) -> Result<FleetRepo
     if opts.space.is_empty() || opts.space.granularities.is_empty() {
         return Err(TuneError::EmptySpace.into());
     }
+    if opts.budget.max_evals == Some(0) {
+        return Err(TuneError::InvalidBudget {
+            reason: "max_evals must be nonzero (use None for an unbounded sweep)",
+        }
+        .into());
+    }
     let base = RunConfig { gpu: capture_dev.clone(), ..opts.base.clone() };
 
     let fp = fingerprint(app);
     let key = fleet_cache_key(app.name(), fp, &base, &opts.space, &opts.budget, &opts.fleet);
     if let Some(cache) = &opts.cache {
         if let Some(text) = cache.get_text(key) {
-            if let Ok(hit) = FleetReport::from_text(&text) {
-                return Ok(hit);
+            match FleetReport::from_text(&text) {
+                Ok(hit) => return Ok(hit),
+                // Stale payload schema: stop it resurfacing, then resweep.
+                Err(reason) => cache.quarantine_key(key, &reason),
             }
         }
     }
@@ -453,42 +492,23 @@ pub fn fleet_sweep(app: &dyn Benchmark, opts: &FleetOptions) -> Result<FleetRepo
             let jobs: Vec<_> = batch
                 .iter()
                 .map(|&i| {
-                    let mut cfg = candidate_config(&base, &cands[i]);
-                    cfg.capture = true;
+                    let k = &cands[i];
+                    let base = &base;
                     let expected = &expected;
                     let fleet = &opts.fleet;
-                    move || match app.run(Variant::ConsolidatedTuned, &cfg) {
-                        Err(e) => FleetStatus::Failed(e.to_string()),
-                        Ok(out) if out.output != *expected => FleetStatus::Rejected,
-                        Ok(out) => {
-                            let caps = out.captures.as_ref().expect("capture was enabled");
-                            let cells = fleet
-                                .iter()
-                                .enumerate()
-                                .map(|(di, d)| {
-                                    // The capture run's own report *is* the
-                                    // replay on fleet[0] (pinned bit-exact by
-                                    // replay_differential.rs), so only the
-                                    // other devices need a fresh replay.
-                                    let r = if di == 0 {
-                                        out.report.clone()
-                                    } else {
-                                        caps.replay_on(d)
-                                    };
-                                    DeviceCell {
-                                        cycles: r.total_cycles,
-                                        dram_transactions: r.dram_transactions,
-                                        warp_exec_efficiency: r.warp_exec_efficiency,
-                                        achieved_occupancy: r.achieved_occupancy,
-                                    }
-                                })
-                                .collect();
-                            FleetStatus::Retimed(cells)
-                        }
-                    }
+                    let budget = &opts.budget;
+                    move || fleet_evaluate_robust(app, base, k, expected, fleet, budget)
                 })
                 .collect();
-            parallel_map(jobs)
+            parallel_map_robust(jobs)
+                .into_iter()
+                .map(|r| {
+                    r.unwrap_or_else(|panic_msg| {
+                        dpcons_obs::counter("tune.candidate.panicked").inc();
+                        FleetStatus::Panicked(panic_msg)
+                    })
+                })
+                .collect()
         },
         |i, st| {
             functional_runs += 1;
@@ -520,7 +540,7 @@ pub fn fleet_sweep(app: &dyn Benchmark, opts: &FleetOptions) -> Result<FleetRepo
         .zip(statuses)
         .map(|(knobs, status)| FleetCandidate {
             knobs,
-            status: status.expect("every candidate has a status"),
+            status: status.unwrap_or(FleetStatus::Skipped),
         })
         .collect();
     let report = FleetReport {
@@ -538,6 +558,89 @@ pub fn fleet_sweep(app: &dyn Benchmark, opts: &FleetOptions) -> Result<FleetRepo
         cache.put_text(key, &report.to_text());
     }
     Ok(report)
+}
+
+/// Capture-and-retime one candidate under the full watchdog, mirroring
+/// [`crate::tuner::evaluate_candidate_robust`]: fuel/deadline enforcement,
+/// fault-injection hooks, and one bounded retry on transient failures.
+/// Panics are isolated by the parallel sweep driver, not here.
+fn fleet_evaluate_robust(
+    app: &dyn Benchmark,
+    base: &RunConfig,
+    k: &Knobs,
+    expected: &[i64],
+    fleet: &[GpuConfig],
+    budget: &Budget,
+) -> FleetStatus {
+    let first = fleet_attempt(app, base, k, expected, fleet, budget, 0);
+    match &first {
+        FleetStatus::Failed(msg) if crate::tuner::is_transient(msg) => {
+            dpcons_obs::counter("tune.candidate.retries").inc();
+            fleet_attempt(app, base, k, expected, fleet, budget, 1)
+        }
+        _ => first,
+    }
+}
+
+fn fleet_attempt(
+    app: &dyn Benchmark,
+    base: &RunConfig,
+    k: &Knobs,
+    expected: &[i64],
+    fleet: &[GpuConfig],
+    budget: &Budget,
+    attempt: u32,
+) -> FleetStatus {
+    let started = std::time::Instant::now();
+    let mut cfg = candidate_config(base, k);
+    cfg.capture = true;
+    if budget.fuel.is_some() {
+        cfg.fuel = budget.fuel;
+    }
+    if let Err(msg) = fault::before_candidate(app.name(), &k.label(), attempt, &mut cfg.fuel) {
+        return FleetStatus::Failed(msg);
+    }
+    let status = match app.run(Variant::ConsolidatedTuned, &cfg) {
+        Err(AppError::Sim(SimError::FuelExhausted { limit })) => {
+            dpcons_obs::counter("tune.candidate.fuel_exhausted").inc();
+            FleetStatus::TimedOut(format!("fuel exhausted: exceeded the {limit}-step budget"))
+        }
+        Err(e) => FleetStatus::Failed(e.to_string()),
+        Ok(out) if out.output != *expected => FleetStatus::Rejected,
+        Ok(out) => match out.captures.as_ref() {
+            None => FleetStatus::Failed("capture was requested but none was recorded".to_string()),
+            Some(caps) => {
+                let cells = fleet
+                    .iter()
+                    .enumerate()
+                    .map(|(di, d)| {
+                        // The capture run's own report *is* the replay on
+                        // fleet[0] (pinned bit-exact by
+                        // replay_differential.rs), so only the other devices
+                        // need a fresh replay.
+                        let r = if di == 0 { out.report.clone() } else { caps.replay_on(d) };
+                        DeviceCell {
+                            cycles: r.total_cycles,
+                            dram_transactions: r.dram_transactions,
+                            warp_exec_efficiency: r.warp_exec_efficiency,
+                            achieved_occupancy: r.achieved_occupancy,
+                        }
+                    })
+                    .collect();
+                FleetStatus::Retimed(cells)
+            }
+        },
+    };
+    if let Some(ms) = budget.max_candidate_ms {
+        let elapsed = started.elapsed().as_millis() as u64;
+        if elapsed > ms {
+            dpcons_obs::counter("tune.candidate.deadline_exceeded").inc();
+            return FleetStatus::TimedOut(format!(
+                "exceeded the {ms} ms soft deadline (took {elapsed} ms)"
+            ));
+        }
+    }
+    status
 }
 
 // ---------------------------------------------------------------- transfer --
@@ -585,7 +688,12 @@ pub fn transfer_check(
     let oracle_knobs = bench_report
         .best_knobs()
         .ok_or_else(|| TuneError::NoFeasibleCandidate { app: bench_app.name().to_string() })?;
-    let oracle_cycles = bench_report.best_cycles().expect("winner has metrics");
+    // A report with winning knobs always has the winner's metrics, but under
+    // the crate's no-panic policy a disagreement degrades to "no feasible
+    // candidate" instead of crashing the caller's sweep.
+    let oracle_cycles = bench_report
+        .best_cycles()
+        .ok_or_else(|| TuneError::NoFeasibleCandidate { app: bench_app.name().to_string() })?;
     // The bench sweep may already have scored the transferred point; if the
     // budget skipped it, evaluate it directly. In both paths a run whose
     // output diverged from the oracle counts as not transferring at all

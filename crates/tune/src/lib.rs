@@ -45,8 +45,25 @@
 //! [`transfer_check`] re-scores Test-profile-tuned knobs on the Bench
 //! profile and reports the regret against that profile's own oracle sweep.
 //! `reproduce --fleet` and `examples/fleet.rs` drive it end to end.
+//!
+//! The sweep substrate is **fault-tolerant**: candidate panics are isolated
+//! per job ([`par::parallel_map_robust`]) and recorded as
+//! [`Status::Panicked`]; runaway candidates are stopped by a deterministic
+//! fuel budget and a wall-clock soft deadline ([`Budget::fuel`],
+//! [`Budget::max_candidate_ms`]) and recorded as [`Status::TimedOut`];
+//! transient failures get one bounded retry; and the disk cache validates a
+//! checksummed envelope on every read, quarantining corrupt entries to
+//! `*.corrupt` and degrading to memory-only when the directory is
+//! unwritable. The [`fault`] module injects all of these fault classes
+//! deterministically so the behavior is pinned by tests.
+
+// Sweeps must survive bad candidates, so the non-test library code is not
+// allowed to panic through `unwrap`/`expect` — fault outcomes are data, not
+// crashes. Unit tests are exempt (`cfg(test)`).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod cache;
+pub mod fault;
 pub mod fleet;
 pub mod knobs;
 pub mod par;
@@ -54,15 +71,16 @@ pub mod report;
 pub mod tuner;
 
 pub use cache::{fnv1a, Cache, Fnv64};
+pub use fault::{FaultPlan, FaultScope};
 pub use fleet::{
     fleet_sweep, transfer_check, DeviceCell, FleetCandidate, FleetError, FleetOptions, FleetReport,
     FleetStatus, TransferReport,
 };
 pub use knobs::Knobs;
-pub use par::parallel_map;
+pub use par::{parallel_map, parallel_map_robust};
 pub use report::{CandidateOutcome, Metrics, Status, TuneReport};
 pub use tuner::{
-    candidate_config, default_knobs, enumerate_candidates, evaluate_candidate, fingerprint,
-    materialize_directive, prune_reason, run_tuned, tune, Budget, TuneError, TuneOptions,
-    WAVE_SIZE,
+    candidate_config, default_knobs, enumerate_candidates, evaluate_candidate,
+    evaluate_candidate_robust, fingerprint, materialize_directive, prune_reason, run_tuned, tune,
+    Budget, TuneError, TuneOptions, WAVE_SIZE,
 };

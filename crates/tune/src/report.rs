@@ -31,6 +31,21 @@ pub enum Status {
     Failed(String),
     /// Not evaluated: the search budget stopped the sweep first.
     Skipped,
+    /// The evaluation panicked; the panic was isolated to this candidate
+    /// (payload recorded) and the rest of the sweep continued.
+    Panicked(String),
+    /// The watchdog stopped the run: the functional fuel budget
+    /// ([`crate::Budget::fuel`]) was exhausted or the wall-clock soft
+    /// deadline ([`crate::Budget::max_candidate_ms`]) passed.
+    TimedOut(String),
+}
+
+impl Status {
+    /// Whether this outcome is a fault the sweep survived (panicked, timed
+    /// out, or errored) rather than a normal evaluation/prune/skip.
+    pub fn is_fault(&self) -> bool {
+        matches!(self, Status::Failed(_) | Status::Panicked(_) | Status::TimedOut(_))
+    }
 }
 
 /// One enumerated candidate and its outcome.
@@ -68,6 +83,10 @@ pub struct TuneReport {
     pub pruned: usize,
     pub failed: usize,
     pub skipped: usize,
+    /// Candidates whose evaluation panicked (isolated, sweep continued).
+    pub panicked: usize,
+    /// Candidates stopped by the fuel/deadline watchdog.
+    pub timed_out: usize,
     /// Redundant grid-level combinations collapsed before the sweep (buffer
     /// allocator and per-buffer size do not reach grid-level codegen).
     pub collapsed: usize,
@@ -89,6 +108,8 @@ impl PartialEq for TuneReport {
             && self.pruned == other.pruned
             && self.failed == other.failed
             && self.skipped == other.skipped
+            && self.panicked == other.panicked
+            && self.timed_out == other.timed_out
             && self.collapsed == other.collapsed
     }
 }
@@ -120,12 +141,22 @@ impl TuneReport {
             .map(|m| m.cycles)
     }
 
+    /// Total faulted candidates (panicked + timed out + failed).
+    pub fn fault_count(&self) -> usize {
+        self.panicked + self.timed_out + self.failed
+    }
+
+    /// Candidates whose outcome was a fault, with their indices.
+    pub fn faulted(&self) -> impl Iterator<Item = (usize, &CandidateOutcome)> {
+        self.candidates.iter().enumerate().filter(|(_, c)| c.status.is_fault())
+    }
+
     // ------------------------------------------------------ serialization --
 
     /// Deterministic textual form (the cache file format).
     pub fn to_text(&self) -> String {
         let mut s = String::new();
-        s.push_str("dpcons-tune v1\n");
+        s.push_str("dpcons-tune v2\n");
         s.push_str(&format!("app {}\n", self.app));
         s.push_str(&format!("gpu {}\n", self.gpu));
         s.push_str(&format!("fingerprint {:016x}\n", self.fingerprint));
@@ -151,6 +182,12 @@ impl TuneReport {
                     s.push_str(&format!("failed {}\n", sanitize(msg)));
                 }
                 Status::Skipped => s.push_str("skipped\n"),
+                Status::Panicked(msg) => {
+                    s.push_str(&format!("panicked {}\n", sanitize(msg)));
+                }
+                Status::TimedOut(msg) => {
+                    s.push_str(&format!("timedout {}\n", sanitize(msg)));
+                }
             }
         }
         match self.best {
@@ -158,8 +195,14 @@ impl TuneReport {
             None => s.push_str("best -\n"),
         }
         s.push_str(&format!(
-            "counts {} {} {} {} {}\n",
-            self.evaluated, self.pruned, self.failed, self.skipped, self.collapsed
+            "counts {} {} {} {} {} {} {}\n",
+            self.evaluated,
+            self.pruned,
+            self.failed,
+            self.skipped,
+            self.panicked,
+            self.timed_out,
+            self.collapsed
         ));
         s.push_str("end\n");
         s
@@ -169,7 +212,7 @@ impl TuneReport {
     pub fn from_text(text: &str) -> Result<TuneReport, String> {
         let mut lines = text.lines();
         let header = lines.next().ok_or("empty cache entry")?;
-        if header != "dpcons-tune v1" {
+        if header != "dpcons-tune v2" {
             return Err(format!("unknown cache version `{header}`"));
         }
         let mut app = None;
@@ -210,10 +253,10 @@ impl TuneReport {
                         .split_whitespace()
                         .map(|n| n.parse().map_err(|e: std::num::ParseIntError| e.to_string()))
                         .collect::<Result<_, _>>()?;
-                    if ns.len() != 5 {
+                    if ns.len() != 7 {
                         return Err(format!("bad counts line `{rest}`"));
                     }
-                    counts = Some((ns[0], ns[1], ns[2], ns[3], ns[4]));
+                    counts = Some((ns[0], ns[1], ns[2], ns[3], ns[4], ns[5], ns[6]));
                 }
                 "end" => saw_end = true,
                 other => return Err(format!("unknown cache line tag `{other}`")),
@@ -222,7 +265,7 @@ impl TuneReport {
         if !saw_end {
             return Err("truncated cache entry (no `end` marker)".into());
         }
-        let (evaluated, pruned, failed, skipped, collapsed) =
+        let (evaluated, pruned, failed, skipped, panicked, timed_out, collapsed) =
             counts.ok_or("missing counts line")?;
         let best = best.ok_or("missing best line")?;
         if let Some(i) = best {
@@ -242,6 +285,8 @@ impl TuneReport {
             pruned,
             failed,
             skipped,
+            panicked,
+            timed_out,
             collapsed,
             from_cache: true,
         })
@@ -280,6 +325,8 @@ fn parse_candidate(rest: &str) -> Result<CandidateOutcome, String> {
         "pruned" => Status::Pruned(tail.to_string()),
         "failed" => Status::Failed(tail.to_string()),
         "skipped" => Status::Skipped,
+        "panicked" => Status::Panicked(tail.to_string()),
+        "timedout" => Status::TimedOut(tail.to_string()),
         other => return Err(format!("unknown candidate status `{other}`")),
     };
     Ok(CandidateOutcome { knobs, status })
@@ -332,12 +379,32 @@ mod tests {
                     },
                     status: Status::Skipped,
                 },
+                CandidateOutcome {
+                    knobs: Knobs {
+                        granularity: Granularity::Block,
+                        alloc: AllocKind::PreAlloc,
+                        per_buffer_size: Some(64),
+                        config: None,
+                    },
+                    status: Status::Panicked("index out of bounds: the len is 4".into()),
+                },
+                CandidateOutcome {
+                    knobs: Knobs {
+                        granularity: Granularity::Warp,
+                        alloc: AllocKind::PreAlloc,
+                        per_buffer_size: Some(8),
+                        config: None,
+                    },
+                    status: Status::TimedOut("fuel exhausted: 64-step budget".into()),
+                },
             ],
             best: Some(0),
             evaluated: 1,
             pruned: 1,
             failed: 0,
             skipped: 1,
+            panicked: 1,
+            timed_out: 1,
             collapsed: 2,
             from_cache: false,
         }
@@ -363,9 +430,19 @@ mod tests {
     }
 
     #[test]
+    fn fault_accessors_count_and_enumerate() {
+        let r = sample();
+        assert_eq!(r.fault_count(), 2);
+        let faulted: Vec<usize> = r.faulted().map(|(i, _)| i).collect();
+        assert_eq!(faulted, vec![3, 4]);
+        assert!(r.candidates[3].status.is_fault());
+        assert!(!r.candidates[0].status.is_fault());
+    }
+
+    #[test]
     fn corrupt_entries_are_rejected() {
         assert!(TuneReport::from_text("").is_err());
-        assert!(TuneReport::from_text("dpcons-tune v0\n").is_err());
+        assert!(TuneReport::from_text("dpcons-tune v1\n").is_err(), "stale schema is rejected");
         let r = sample();
         let truncated = r.to_text().replace("end\n", "");
         assert!(TuneReport::from_text(&truncated).is_err());

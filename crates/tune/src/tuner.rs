@@ -9,15 +9,16 @@
 
 use std::collections::HashSet;
 
-use dpcons_apps::{Benchmark, RunConfig, TuneModel, TunedDirective, Variant};
+use dpcons_apps::{AppError, Benchmark, RunConfig, TuneModel, TunedDirective, Variant};
 use dpcons_core::{
     analyze, max_blocks_per_sm, ConfigPolicy, Granularity, KernelResources, KnobSpace,
 };
-use dpcons_sim::AllocKind;
+use dpcons_sim::{AllocKind, SimError};
 
 use crate::cache::{Cache, Fnv64};
+use crate::fault;
 use crate::knobs::Knobs;
-use crate::par::parallel_map;
+use crate::par::parallel_map_robust;
 use crate::report::{CandidateOutcome, Metrics, Status, TuneReport};
 
 /// Candidates evaluated per deterministic wave. Fixed (not tied to the core
@@ -28,7 +29,9 @@ pub const WAVE_SIZE: usize = 16;
 /// version. **Bump this whenever simulator timing or consolidation codegen
 /// changes behaviorally** — the on-disk cache outlives builds, and a stale
 /// entry would otherwise report pre-change cycles as current.
-pub const CACHE_SCHEMA: u32 = 1;
+/// v2: fault-tolerant sweeps (report format v2 with panicked/timed-out
+/// outcomes, `Budget` watchdog fields).
+pub const CACHE_SCHEMA: u32 = 2;
 
 /// Search budget: caps and early stopping for large knob grids. The paper's
 /// per-granularity default candidates are always evaluated (they are ordered
@@ -41,6 +44,17 @@ pub struct Budget {
     /// Stop after this many consecutive waves without an improvement
     /// (`None` = never stop early).
     pub patience: Option<usize>,
+    /// Per-candidate functional step budget (blocks + warp loop
+    /// iterations); a candidate that exceeds it is recorded as
+    /// [`Status::TimedOut`] instead of hanging the sweep. Deterministic:
+    /// the same candidate exhausts at the same step on every machine.
+    /// `None` = unlimited.
+    pub fuel: Option<u64>,
+    /// Per-candidate wall-clock soft deadline in milliseconds, checked
+    /// after the run returns (the deterministic hard stop is [`Budget::fuel`]).
+    /// A candidate that overruns it is recorded as [`Status::TimedOut`].
+    /// Machine-dependent — leave `None` when reports must be reproducible.
+    pub max_candidate_ms: Option<u64>,
 }
 
 /// Everything configuring one sweep.
@@ -79,6 +93,12 @@ pub enum TuneError {
     EmptySpace,
     /// Every candidate was pruned, failed, or corrupted its output.
     NoFeasibleCandidate { app: String },
+    /// The budget is structurally unusable (e.g. `max_evals == Some(0)`).
+    InvalidBudget { reason: &'static str },
+    /// Re-running the sweep winner failed — only possible when the
+    /// environment changed between the sweep and the rerun (e.g. fault
+    /// injection is active).
+    WinnerFailed { app: String, error: String },
 }
 
 impl std::fmt::Display for TuneError {
@@ -90,6 +110,10 @@ impl std::fmt::Display for TuneError {
             TuneError::EmptySpace => write!(f, "the knob space is empty"),
             TuneError::NoFeasibleCandidate { app } => {
                 write!(f, "no feasible directive candidate found for `{app}`")
+            }
+            TuneError::InvalidBudget { reason } => write!(f, "invalid search budget: {reason}"),
+            TuneError::WinnerFailed { app, error } => {
+                write!(f, "re-running the sweep winner for `{app}` failed: {error}")
             }
         }
     }
@@ -239,10 +263,12 @@ pub fn prune_reason(model: &TuneModel, cfg: &RunConfig, k: &Knobs) -> Option<Str
                 cfg.gpu.max_threads_per_block
             ));
         }
-        let child = model
-            .module_dp
-            .get(&analysis.launch.target)
-            .expect("analysis resolved the child kernel");
+        // `analyze` resolved the child kernel above, so this lookup cannot
+        // miss; treat a miss as a (conservative) prune anyway rather than
+        // panicking inside a sweep worker.
+        let Some(child) = model.module_dp.get(&analysis.launch.target) else {
+            return Some(format!("analysis: child kernel `{}` not found", analysis.launch.target));
+        };
         let res = KernelResources {
             regs_per_thread: child.regs_per_thread,
             shared_bytes: child.shared_bytes,
@@ -300,18 +326,67 @@ pub fn candidate_config(base: &RunConfig, k: &Knobs) -> RunConfig {
 }
 
 /// Run one candidate end to end and score it. Public so tests can
-/// force-evaluate pruned candidates.
+/// force-evaluate pruned candidates. Equivalent to
+/// [`evaluate_candidate_robust`] under a default (watchdog-free) budget.
 pub fn evaluate_candidate(
     app: &dyn Benchmark,
     base: &RunConfig,
     k: &Knobs,
     expected: &[i64],
 ) -> Status {
+    evaluate_candidate_robust(app, base, k, expected, &Budget::default())
+}
+
+/// Whether a failure message names a transient class — worth one bounded
+/// retry. The simulator itself is deterministic, so rerunning a genuine
+/// simulator fault would fail identically; transient failures only come
+/// from the environment (and from [`crate::fault`] injection, which is how
+/// the retry path is tested).
+pub(crate) fn is_transient(msg: &str) -> bool {
+    msg.contains("transient")
+}
+
+/// Run one candidate under the full watchdog: fuel/deadline enforcement
+/// from `budget`, fault-injection hooks, and one bounded retry when the
+/// failure is transient. Panics are *not* caught here — the parallel sweep
+/// driver isolates them per job ([`crate::par::parallel_map_robust`]) and
+/// records them as [`Status::Panicked`].
+pub fn evaluate_candidate_robust(
+    app: &dyn Benchmark,
+    base: &RunConfig,
+    k: &Knobs,
+    expected: &[i64],
+    budget: &Budget,
+) -> Status {
+    let first = evaluate_attempt(app, base, k, expected, budget, 0);
+    match &first {
+        Status::Failed(msg) if is_transient(msg) => {
+            dpcons_obs::counter("tune.candidate.retries").inc();
+            evaluate_attempt(app, base, k, expected, budget, 1)
+        }
+        _ => first,
+    }
+}
+
+fn evaluate_attempt(
+    app: &dyn Benchmark,
+    base: &RunConfig,
+    k: &Knobs,
+    expected: &[i64],
+    budget: &Budget,
+    attempt: u32,
+) -> Status {
     // `tune.candidate_us` histogram: wall-clock per candidate evaluation.
     static HIST: std::sync::OnceLock<&'static dpcons_obs::Histogram> = std::sync::OnceLock::new();
     let hist = HIST.get_or_init(|| dpcons_obs::histogram("tune.candidate_us"));
     let started = std::time::Instant::now();
-    let cfg = candidate_config(base, k);
+    let mut cfg = candidate_config(base, k);
+    if budget.fuel.is_some() {
+        cfg.fuel = budget.fuel;
+    }
+    if let Err(msg) = fault::before_candidate(app.name(), &k.label(), attempt, &mut cfg.fuel) {
+        return Status::Failed(msg);
+    }
     let status = match app.run(Variant::ConsolidatedTuned, &cfg) {
         Ok(out) => Status::Evaluated(Metrics {
             cycles: out.report.total_cycles,
@@ -320,9 +395,22 @@ pub fn evaluate_candidate(
             achieved_occupancy: out.report.achieved_occupancy,
             output_ok: out.output == expected,
         }),
+        Err(AppError::Sim(SimError::FuelExhausted { limit })) => {
+            dpcons_obs::counter("tune.candidate.fuel_exhausted").inc();
+            Status::TimedOut(format!("fuel exhausted: exceeded the {limit}-step budget"))
+        }
         Err(e) => Status::Failed(e.to_string()),
     };
     hist.record(started.elapsed().as_micros() as u64);
+    if let Some(ms) = budget.max_candidate_ms {
+        let elapsed = started.elapsed().as_millis() as u64;
+        if elapsed > ms {
+            dpcons_obs::counter("tune.candidate.deadline_exceeded").inc();
+            return Status::TimedOut(format!(
+                "exceeded the {ms} ms soft deadline (took {elapsed} ms)"
+            ));
+        }
+    }
     status
 }
 
@@ -368,6 +456,11 @@ pub fn tune(app: &dyn Benchmark, opts: &TuneOptions) -> Result<TuneReport, TuneE
     if opts.space.is_empty() || opts.space.granularities.is_empty() {
         return Err(TuneError::EmptySpace);
     }
+    if opts.budget.max_evals == Some(0) {
+        return Err(TuneError::InvalidBudget {
+            reason: "max_evals must be nonzero (use None for an unbounded sweep)",
+        });
+    }
 
     let fp = fingerprint(app);
     let key = cache_key(app.name(), fp, &opts.base, &opts.space, &opts.budget, opts.with_baselines);
@@ -401,7 +494,8 @@ pub fn tune(app: &dyn Benchmark, opts: &TuneOptions) -> Result<TuneReport, TuneE
                 move || app.run(v, &base).ok().map(|o| (v.label(), o.report.total_cycles))
             })
             .collect();
-        parallel_map(jobs).into_iter().flatten().collect()
+        // A failed or panicking baseline is omitted, never fatal.
+        parallel_map_robust(jobs).into_iter().flatten().flatten().collect()
     } else {
         Vec::new()
     };
@@ -421,10 +515,19 @@ pub fn tune(app: &dyn Benchmark, opts: &TuneOptions) -> Result<TuneReport, TuneE
                     let k = cands[i];
                     let base = &opts.base;
                     let expected = &expected;
-                    move || evaluate_candidate(app, base, &k, expected)
+                    let budget = &opts.budget;
+                    move || evaluate_candidate_robust(app, base, &k, expected, budget)
                 })
                 .collect();
-            parallel_map(jobs)
+            parallel_map_robust(jobs)
+                .into_iter()
+                .map(|r| {
+                    r.unwrap_or_else(|panic_msg| {
+                        dpcons_obs::counter("tune.candidate.panicked").inc();
+                        Status::Panicked(panic_msg)
+                    })
+                })
+                .collect()
         },
         |i, st| {
             let mut improved = false;
@@ -452,8 +555,10 @@ pub fn tune(app: &dyn Benchmark, opts: &TuneOptions) -> Result<TuneReport, TuneE
         .into_iter()
         .zip(statuses)
         .map(|(knobs, status)| CandidateOutcome {
+            // Every index was filled by pruning, evaluation, or the
+            // skipped-backfill above; `Skipped` is the safe fallback.
             knobs,
-            status: status.expect("every candidate has a status"),
+            status: status.unwrap_or(Status::Skipped),
         })
         .collect();
     let count = |f: fn(&Status) -> bool| candidates.iter().filter(|c| f(&c.status)).count();
@@ -468,6 +573,8 @@ pub fn tune(app: &dyn Benchmark, opts: &TuneOptions) -> Result<TuneReport, TuneE
         pruned: count(|s| matches!(s, Status::Pruned(_))),
         failed: count(|s| matches!(s, Status::Failed(_))),
         skipped: count(|s| matches!(s, Status::Skipped)),
+        panicked: count(|s| matches!(s, Status::Panicked(_))),
+        timed_out: count(|s| matches!(s, Status::TimedOut(_))),
         collapsed,
         from_cache: false,
         candidates,
@@ -490,8 +597,11 @@ pub fn run_tuned(
         .best_knobs()
         .ok_or_else(|| TuneError::NoFeasibleCandidate { app: app.name().to_string() })?;
     let cfg = candidate_config(&opts.base, &knobs);
-    let out = app
-        .run(Variant::ConsolidatedTuned, &cfg)
-        .expect("winning candidate was evaluated successfully");
+    // The winner evaluated successfully during the sweep, so this rerun can
+    // only fail if the environment changed in between (e.g. fault injection).
+    let out = app.run(Variant::ConsolidatedTuned, &cfg).map_err(|e| TuneError::WinnerFailed {
+        app: app.name().to_string(),
+        error: e.to_string(),
+    })?;
     Ok((report, out))
 }

@@ -1,0 +1,148 @@
+//! Degraded-environment coverage (ISSUE 7 satellite): broken filesystems and
+//! malformed inputs must downgrade gracefully — memory-only caching, typed
+//! errors — never panic or abort a sweep.
+
+use dpcons_apps::{datasets, Profile, RunConfig, Sssp};
+use dpcons_core::{BufferKind, Granularity, KnobSpace};
+use dpcons_sim::{parse_fleet, FleetSpecError, GpuConfig};
+use dpcons_tune::{
+    fleet_sweep, tune, Budget, Cache, FleetError, FleetOptions, TuneError, TuneOptions,
+};
+
+fn sssp() -> Sssp {
+    Sssp::new(datasets::citeseer(Profile::Test).with_weights(15, 0xD15), 0)
+}
+
+fn tiny_space() -> KnobSpace {
+    KnobSpace {
+        granularities: Granularity::ALL.to_vec(),
+        buffers: vec![BufferKind::Custom, BufferKind::Halloc],
+        per_buffer_sizes: vec![None],
+        configs: vec![None, Some((13, 64))],
+    }
+}
+
+fn opts() -> TuneOptions {
+    TuneOptions {
+        base: RunConfig::default(),
+        space: tiny_space(),
+        budget: Budget::default(),
+        with_baselines: false,
+        cache: None,
+    }
+}
+
+#[test]
+fn unwritable_cache_dir_degrades_to_memory_only_with_one_warning() {
+    // A regular *file* used as the cache directory: `create_dir_all` fails on
+    // every platform, regardless of privileges (chmod tricks don't bite when
+    // tests run as root).
+    let blocker = std::env::temp_dir().join(format!("dpcons-notadir-{}", std::process::id()));
+    std::fs::write(&blocker, "occupies the path").expect("blocker file");
+
+    let cache = Cache::new(Some(blocker.clone()));
+    assert!(!cache.disk_disabled());
+    cache.put_text(0xDEAD, "payload");
+    assert!(cache.disk_disabled(), "a failed write must flip the handle to memory-only");
+    // The memory layer still works.
+    assert_eq!(cache.get_text(0xDEAD).as_deref(), Some("payload"));
+    // Further writes stay memory-only and don't error.
+    cache.put_text(0xBEEF, "more");
+    assert_eq!(cache.get_text(0xBEEF).as_deref(), Some("more"));
+
+    // The degradation warning was already emitted (warn_once returns false
+    // for a key that has fired; its at-most-once contract is tested in obs).
+    let key = format!("tune.cache.disk-disabled:{}", blocker.display());
+    assert!(
+        !dpcons_obs::warn_once(&key, "probe"),
+        "the cache must have emitted its single degradation warning"
+    );
+
+    // A clone shares the degraded state — no second warning storm.
+    assert!(cache.clone().disk_disabled());
+    let _ = std::fs::remove_file(&blocker);
+}
+
+#[test]
+fn truncated_cache_file_is_a_miss_and_quarantined() {
+    let app = sssp();
+    let dir = std::env::temp_dir().join(format!("dpcons-truncated-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut o = opts();
+    o.base.threshold += 21; // unique cache key within this test binary
+    o.cache = Some(Cache::new(Some(dir.clone())));
+
+    let fresh = tune(&app, &o).expect("sweep");
+    assert!(!fresh.from_cache);
+    let entry = std::fs::read_dir(&dir)
+        .expect("cache dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|x| x == "tune"))
+        .expect("the sweep wrote one cache file");
+
+    // Chop the file mid-payload: the envelope length no longer matches.
+    let full = std::fs::read_to_string(&entry).expect("read entry");
+    std::fs::write(&entry, &full[..full.len() / 2]).expect("truncate");
+
+    Cache::clear_memory();
+    let recomputed = tune(&app, &o).expect("sweep after truncation");
+    assert!(!recomputed.from_cache, "truncated entry must be a miss, not a parse panic");
+    assert_eq!(recomputed.to_text(), fresh.to_text());
+    let mut corrupt = entry.clone().into_os_string();
+    corrupt.push(".corrupt");
+    assert!(
+        std::path::Path::new(&corrupt).exists(),
+        "the truncated file is quarantined for post-mortem"
+    );
+    assert_eq!(
+        std::fs::read_to_string(&corrupt).expect("quarantined bytes"),
+        full[..full.len() / 2],
+        "quarantine preserves the bad bytes verbatim"
+    );
+    // The recompute rewrote a healthy entry in place; it serves cold now.
+    Cache::clear_memory();
+    assert!(tune(&app, &o).expect("warm sweep").from_cache);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn zero_budget_sweeps_return_typed_errors_not_panics() {
+    let app = sssp();
+    let mut o = opts();
+    o.budget.max_evals = Some(0);
+    assert!(matches!(tune(&app, &o).unwrap_err(), TuneError::InvalidBudget { .. }));
+
+    let fo = FleetOptions {
+        base: RunConfig::default(),
+        space: tiny_space(),
+        budget: Budget { max_evals: Some(0), ..Budget::default() },
+        fleet: vec![GpuConfig::k20c()],
+        cache: None,
+    };
+    assert!(matches!(
+        fleet_sweep(&app, &fo).unwrap_err(),
+        FleetError::Tune(TuneError::InvalidBudget { .. })
+    ));
+}
+
+#[test]
+fn unknown_fleet_device_is_a_typed_error() {
+    match parse_fleet("k20c,atlantis9000") {
+        Err(FleetSpecError::Unknown { name }) => assert_eq!(name, "atlantis9000"),
+        other => panic!("expected Unknown device error, got {other:?}"),
+    }
+}
+
+#[test]
+fn empty_fleet_is_a_typed_error() {
+    let app = sssp();
+    let fo = FleetOptions {
+        base: RunConfig::default(),
+        space: tiny_space(),
+        budget: Budget::default(),
+        fleet: Vec::new(),
+        cache: None,
+    };
+    assert_eq!(fleet_sweep(&app, &fo).unwrap_err(), FleetError::EmptyFleet);
+}

@@ -54,7 +54,7 @@ fn same_inputs_produce_identical_reports() {
 fn budgeted_search_is_deterministic_and_never_worse_than_defaults() {
     let app = sssp();
     let mut o = opts(KnobSpace::quick(13));
-    o.budget = Budget { max_evals: Some(6), patience: Some(1) };
+    o.budget = Budget { max_evals: Some(6), patience: Some(1), ..Budget::default() };
     let a = tune(&app, &o).unwrap();
     let b = tune(&app, &o).unwrap();
     assert_eq!(a, b);
@@ -240,7 +240,7 @@ fn fleet_cache_key_covers_every_dimension_including_device() {
     thr.base.threshold += 1;
     assert!(!fleet_sweep(&app, &thr).unwrap().from_cache, "run config must be keyed");
     let mut budget = base_opts.clone();
-    budget.budget = Budget { max_evals: Some(3), patience: None };
+    budget.budget = Budget { max_evals: Some(3), patience: None, ..Budget::default() };
     assert!(!fleet_sweep(&app, &budget).unwrap().from_cache, "budget must be keyed");
     let other = Sssp::new(datasets::citeseer(Profile::Test).with_weights(15, 0xBEEF), 0);
     let other_report = fleet_sweep(&other, &base_opts).unwrap();

@@ -34,7 +34,7 @@ fn main() {
     let opts = FleetOptions {
         base: RunConfig::default(),
         space: KnobSpace::quick(fleet[0].num_sms),
-        budget: Budget { max_evals: Some(8), patience: Some(2) },
+        budget: Budget { max_evals: Some(8), patience: Some(2), ..Budget::default() },
         fleet,
         cache: None,
     };
@@ -80,7 +80,7 @@ fn main() {
     let topts = TuneOptions {
         base: RunConfig::default(),
         space: KnobSpace::quick(RunConfig::default().gpu.num_sms),
-        budget: Budget { max_evals: Some(6), patience: Some(1) },
+        budget: Budget { max_evals: Some(6), patience: Some(1), ..Budget::default() },
         with_baselines: false,
         cache: None,
     };
