@@ -21,30 +21,43 @@ fn micro_json_is_well_formed_and_trace_is_balanced() {
     dpcons_obs::set_tracing(false);
     let spans = dpcons_obs::take_spans();
 
-    // Stage structure: all four stages, in run order, with consistent
+    // Stage structure: all five stages, in run order, with consistent
     // deterministic fields (replay of a capture reproduces its cycle count
-    // and kernel count exactly).
+    // and kernel count exactly, and the tree-walker capture reproduces the
+    // bytecode VM's deterministic counters bit-for-bit).
     let names: Vec<&str> = result.stages.iter().map(|s| s.stage).collect();
     assert_eq!(names, MICRO_STAGES);
     let capture = &result.stages[0];
-    let replay = &result.stages[1];
+    let capture_tree = &result.stages[1];
+    let replay = &result.stages[2];
     assert_eq!(capture.cycles, replay.cycles, "timing replay must reproduce captured cycles");
     assert_eq!(capture.work, replay.work, "timing replay covers every captured kernel");
+    assert_eq!(capture.cycles, capture_tree.cycles, "both executors must agree on cycles");
+    assert_eq!(capture.work, capture_tree.work, "both executors must agree on kernel count");
+    assert_eq!(capture_tree.engine, "tree");
     assert!(result.stages.iter().all(|s| s.cycles > 0 && s.work > 0));
 
     // The JSON record round-trips through a strict parser with every field
     // present and typed as documented.
     let text = micro_json(Profile::Test, &cfg, std::slice::from_ref(&result)).render();
     let doc = jsonv::parse(&text).expect("BENCH_micro.json must be valid JSON");
-    assert_eq!(doc.get("schema").and_then(|v| v.as_str()), Some("dpcons-bench-micro-v1"));
+    assert_eq!(doc.get("schema").and_then(|v| v.as_str()), Some("dpcons-bench-micro-v2"));
     assert_eq!(doc.get("profile").and_then(|v| v.as_str()), Some("test"));
     assert!(doc.get("gpu").and_then(|v| v.as_str()).is_some());
+    assert!(
+        matches!(doc.get("engine").and_then(|v| v.as_str()), Some("bytecode") | Some("tree")),
+        "top-level engine field must name the active executor"
+    );
     let apps = doc.get("apps").and_then(|v| v.as_arr()).expect("apps array");
     assert_eq!(apps.len(), 1);
     let stages = apps[0].get("stages").and_then(|v| v.as_arr()).expect("stages array");
     assert_eq!(stages.len(), MICRO_STAGES.len());
     for (stage, want) in stages.iter().zip(MICRO_STAGES) {
         assert_eq!(stage.get("stage").and_then(|v| v.as_str()), Some(want));
+        assert!(matches!(
+            stage.get("engine").and_then(|v| v.as_str()),
+            Some("bytecode") | Some("tree")
+        ));
         assert!(stage.get("wall_ms").and_then(|v| v.as_num()).is_some_and(|ms| ms >= 0.0));
         assert!(stage.get("cycles").and_then(|v| v.as_num()).is_some());
         assert!(stage.get("work").and_then(|v| v.as_num()).is_some());

@@ -1,0 +1,1155 @@
+//! Flat bytecode lowering and VM for the functional phase.
+//!
+//! `lower_kernel` walks a compiled [`CKernel`] **once** — at module install,
+//! not per block — into a flat `Vec<Op>` with explicit jump targets:
+//! `If`/`While`/`For` become conditional branches over pre-resolved register
+//! indices, short-circuit `&&`/`||` become mask-switching skip branches, and
+//! per-statement ops-costs are folded into `Charge`/`LoopIter` opcodes. The
+//! VM then executes each warp as a tight `pc`-dispatch loop with no
+//! recursion, no boxed-node matching, and no per-statement allocation.
+//!
+//! Warp state is a register file in SoA layout: one `[i64; 32]` lane row per
+//! register, where registers `0..n_slots` are the kernel's variable slots
+//! (zeroed per warp, like the tree walker's fresh `env`) and the rest are
+//! expression temporaries assigned stack-wise at lowering time (always
+//! written before read, so they carry over between warps without clearing).
+//! Fixed-size rows keep lane loops bounds-check-free, and pure ops evaluate
+//! full-width — all 32 lanes, active or not — so they vectorize; that is
+//! sound because inactive lanes of a temporary are never observed and only
+//! `Div`/`Rem` (which keep a masked path) can fault. The register file,
+//! launch arena, and chunk buffers live in thread-local scratch reused
+//! across blocks, so the capture hot loop stops churning the allocator.
+//!
+//! Equivalence with the tree walker in [`crate::interp`] is a hard contract:
+//! both executors share the scalar semantics (`scalar_binop`, `launch_dim`,
+//! `resolve_addr`, `charge_group_from_addrs`) and the block assembly
+//! (`assemble_block`), and `crates/sim/tests/bytecode_equivalence.rs` pins
+//! bit-identical `ExecRecord` DAGs, memory, cycle/active/dram counters, and
+//! fuel accounting across all apps and variants.
+
+use std::collections::HashMap;
+
+use dpcons_sim::{BlockCtx, BlockResult, KernelId, LaunchSpec, SimError};
+
+use crate::ast::{AllocScope, AtomicOp, BinOp, UnOp};
+use crate::compile::{CExpr, CKernel, CModule, CStmt};
+use crate::interp::{
+    assemble_block, charge_group_from_addrs, launch_dim, resolve_addr, scalar_binop,
+    scalar_binop_total, Boundary, Chunk, Lanes, MAX_WARP_ITERATIONS, WARP_ITER_LIMIT_MSG,
+};
+
+/// Sentinel register index meaning "absent" (`Atomic.old`, `Atomic.v2`).
+const NONE_REG: u16 = u16::MAX;
+
+/// Warp-invariant special values (lane-indexed at execution time).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Special {
+    Gtid,
+    Tid,
+    CtaId,
+    NTid,
+    NCta,
+    Depth,
+}
+
+/// One bytecode instruction. Register operands index the SoA register file
+/// (`reg * 32 + lane`); jump targets are absolute instruction indices.
+///
+/// Mask-manipulating ops use `save` indices into a small per-warp mask-slot
+/// array, statically assigned by nesting depth at lowering time (an `If`
+/// holds its entry mask and else mask, a `For` its entry mask and
+/// iteration mask, and so on) — the VM never needs a dynamic mask stack.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Op {
+    /// `dst = imm` in all 32 lanes.
+    Imm { dst: u16, v: i64 },
+    /// `dst = special` in all 32 lanes.
+    Sp { dst: u16, s: Special },
+    /// `dst = args[idx]` in all 32 lanes.
+    ArgLd { dst: u16, idx: u16 },
+    /// `dst = src` in active lanes.
+    CopyMasked { dst: u16, src: u16 },
+    /// `dst = op a` in active lanes.
+    Un { dst: u16, op: UnOp, a: u16 },
+    /// `dst = a op b` in active lanes (shared `scalar_binop` semantics).
+    Bin { dst: u16, op: BinOp, a: u16, b: u16 },
+    /// `dst = a op imm` in active lanes: a constant RHS folded at lowering,
+    /// skipping the `Imm` splat and its temporary (never `Div`/`Rem`).
+    BinImm { dst: u16, op: BinOp, a: u16, v: i64 },
+    /// Coalesced-cost group + `dst = mem[h[i]]` in active lanes.
+    Load { dst: u16, h: u16, i: u16 },
+    /// Short-circuit split: decided lanes get the constant result in `dst`;
+    /// lanes still needing the RHS become the active mask (entry mask saved
+    /// at `save`). If no lane needs the RHS, jump to `skip`.
+    ScSplit { dst: u16, a: u16, is_and: bool, save: u16, skip: u32 },
+    /// Short-circuit join: `dst = (b != 0)` in active lanes, restore mask.
+    ScEnd { dst: u16, b: u16, save: u16 },
+    /// Charge `ops * compute_cycles_per_op` under the active mask.
+    Charge { ops: u32 },
+    /// Statement-list re-check after a possible `Return`: drop returned
+    /// lanes; if the mask drains, jump to the list end.
+    SeqCheck { end: u32 },
+    /// Coalesced-cost group + `mem[h[i]] = v` in active lanes.
+    Store { h: u16, i: u16, v: u16 },
+    /// Atomic read-modify-write, serialized in lane order.
+    Atomic { op: AtomicOp, old: u16, h: u16, i: u16, v: u16, v2: u16 },
+    /// Data-dependent compute: warp takes the lane max, lanes charge their own.
+    Compute { units: u16 },
+    /// Per-active-lane device-side child launch; `n_args` consecutive
+    /// registers starting at `args_at` hold the argument vector.
+    Launch { target: u16, grid: u16, block: u16, args_at: u16, n_args: u16 },
+    /// `__syncthreads`: cut a phase boundary.
+    Sync,
+    /// `cudaDeviceSynchronize`: cut a segment boundary.
+    DeviceSync,
+    /// Device-side heap allocation (warp- or block-scope).
+    Alloc { handle_slot: u16, offset_slot: u16, words: u16, scope: AllocScope, site: u32 },
+    /// Retire the active lanes.
+    Return,
+    /// Evaluate an `if`: save entry/else masks, activate the then-mask, or
+    /// jump to `else_to` when no lane takes the then-path.
+    IfSplit { c: u16, save: u16, else_to: u32 },
+    /// Between then- and else-body: activate the saved else mask, or jump
+    /// to `end` when it is empty.
+    ElseJoin { save: u16, end: u32 },
+    /// After an `if`: restore the entry mask.
+    EndIf { save: u16 },
+    /// `masks[save] = mask` (loop entry).
+    SaveMask { save: u16 },
+    /// `mask = masks[save]` (loop exit / for-step entry).
+    LoadMask { save: u16 },
+    /// Top of a loop iteration: drop returned lanes (exit if drained),
+    /// spend fuel, bump the iteration safety valve, charge the loop's ops.
+    LoopIter { ops: u32, exit: u32 },
+    /// `while` condition: keep lanes where `c != 0`, exit if none.
+    CondLoop { c: u16, exit: u32 },
+    /// `for` condition: keep lanes where `var < hi`, save the iteration
+    /// mask at `save`, exit if none.
+    ForCond { var: u16, hi: u16, save: u16, exit: u32 },
+    /// [`Op::ForCond`] against a constant bound: skips the per-iteration
+    /// `Imm` splat a literal `hi` would otherwise re-emit every trip.
+    ForCondI { var: u16, hi: i64, save: u16, exit: u32 },
+    /// `var += step` in active lanes.
+    ForStep { var: u16, step: u16 },
+    /// `var += imm` in active lanes (constant step folded at lowering).
+    ForStepI { var: u16, step: i64 },
+    /// Unconditional branch.
+    Jump { to: u32 },
+}
+
+/// A kernel lowered to flat bytecode, produced once per module install.
+#[derive(Debug, Clone)]
+pub struct ByteKernel {
+    pub(crate) ops: Vec<Op>,
+    pub(crate) n_slots: u16,
+    /// Register-file size: variable slots + peak expression temporaries.
+    pub(crate) n_regs: u16,
+    /// Mask-slot array size: peak static nesting depth.
+    pub(crate) n_masks: u16,
+}
+
+impl ByteKernel {
+    /// Number of lowered instructions (introspection for tests/tools).
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+}
+
+/// Lower every kernel of a compiled module.
+pub fn lower_module(cm: &CModule) -> Vec<ByteKernel> {
+    cm.kernels.iter().map(lower_kernel).collect()
+}
+
+/// Lower one compiled kernel into flat bytecode.
+pub fn lower_kernel(k: &CKernel) -> ByteKernel {
+    let mut lw =
+        Lowerer { ops: Vec::new(), tp: k.n_slots, max_tp: k.n_slots, mask_depth: 0, max_masks: 0 };
+    let checks = lw.lower_list(&k.body);
+    let end = lw.pc();
+    lw.patch_checks(checks, end);
+    ByteKernel { ops: lw.ops, n_slots: k.n_slots, n_regs: lw.max_tp, n_masks: lw.max_masks }
+}
+
+/// Can executing these statements set the warp's `returned` mask? Lists where
+/// no prefix can return skip the `SeqCheck` re-checks entirely.
+fn stmt_can_return(s: &CStmt) -> bool {
+    match s {
+        CStmt::Return => true,
+        CStmt::If { then, els, .. } => {
+            then.iter().any(stmt_can_return) || els.iter().any(stmt_can_return)
+        }
+        CStmt::While { body, .. } | CStmt::For { body, .. } => body.iter().any(stmt_can_return),
+        _ => false,
+    }
+}
+
+struct Lowerer {
+    ops: Vec<Op>,
+    /// Next free register (temporaries live above the variable slots).
+    tp: u16,
+    max_tp: u16,
+    /// Next free mask slot (static nesting depth).
+    mask_depth: u16,
+    max_masks: u16,
+}
+
+impl Lowerer {
+    fn pc(&self) -> u32 {
+        self.ops.len() as u32
+    }
+
+    fn emit(&mut self, op: Op) -> u32 {
+        self.ops.push(op);
+        self.ops.len() as u32 - 1
+    }
+
+    fn charge(&mut self, ops: u32) {
+        if ops > 0 {
+            self.emit(Op::Charge { ops });
+        }
+    }
+
+    fn alloc_masks(&mut self, n: u16) -> u16 {
+        let base = self.mask_depth;
+        self.mask_depth += n;
+        self.max_masks = self.max_masks.max(self.mask_depth);
+        base
+    }
+
+    fn alloc_temp(&mut self) -> u16 {
+        let dst = self.tp;
+        self.tp += 1;
+        self.max_tp = self.max_tp.max(self.tp);
+        dst
+    }
+
+    /// Lower an expression; returns the register holding the result. `Var`
+    /// reads resolve to the slot register directly (slots are read-only
+    /// during expression evaluation, so no copy is needed).
+    fn lower_expr(&mut self, e: &CExpr) -> u16 {
+        if let CExpr::Var(s) = e {
+            return *s;
+        }
+        let dst = self.alloc_temp();
+        self.emit_expr(e, dst);
+        // Children's temporaries are dead now; only `dst` stays live.
+        self.tp = dst + 1;
+        dst
+    }
+
+    /// Lower an expression into a caller-chosen register (used where results
+    /// must land in consecutive registers, e.g. launch argument vectors).
+    fn lower_expr_into(&mut self, e: &CExpr, dst: u16) {
+        if let CExpr::Var(s) = e {
+            self.emit(Op::CopyMasked { dst, src: *s });
+        } else {
+            self.emit_expr(e, dst);
+            self.tp = dst + 1;
+        }
+    }
+
+    fn emit_expr(&mut self, e: &CExpr, dst: u16) {
+        match e {
+            CExpr::I(v) => {
+                self.emit(Op::Imm { dst, v: *v });
+            }
+            CExpr::Gtid => {
+                self.emit(Op::Sp { dst, s: Special::Gtid });
+            }
+            CExpr::Tid => {
+                self.emit(Op::Sp { dst, s: Special::Tid });
+            }
+            CExpr::CtaId => {
+                self.emit(Op::Sp { dst, s: Special::CtaId });
+            }
+            CExpr::NTid => {
+                self.emit(Op::Sp { dst, s: Special::NTid });
+            }
+            CExpr::NCta => {
+                self.emit(Op::Sp { dst, s: Special::NCta });
+            }
+            CExpr::Depth => {
+                self.emit(Op::Sp { dst, s: Special::Depth });
+            }
+            CExpr::Arg(i) => {
+                self.emit(Op::ArgLd { dst, idx: *i });
+            }
+            CExpr::Var(s) => {
+                self.emit(Op::CopyMasked { dst, src: *s });
+            }
+            CExpr::Load(h, i) => {
+                let rh = self.lower_expr(h);
+                let ri = self.lower_expr(i);
+                self.emit(Op::Load { dst, h: rh, i: ri });
+            }
+            CExpr::Un(op, a) => {
+                let ra = self.lower_expr(a);
+                self.emit(Op::Un { dst, op: *op, a: ra });
+            }
+            CExpr::Bin(op, a, b) if matches!(op, BinOp::LAnd | BinOp::LOr) => {
+                // Short-circuit: the RHS only executes (and only charges
+                // memory costs) under the lanes the LHS does not decide.
+                let ra = self.lower_expr(a);
+                let save = self.alloc_masks(1);
+                let split = self.emit(Op::ScSplit {
+                    dst,
+                    a: ra,
+                    is_and: matches!(op, BinOp::LAnd),
+                    save,
+                    skip: 0,
+                });
+                let rb = self.lower_expr(b);
+                self.emit(Op::ScEnd { dst, b: rb, save });
+                let end = self.pc();
+                if let Op::ScSplit { skip, .. } = &mut self.ops[split as usize] {
+                    *skip = end;
+                }
+                self.mask_depth = save;
+            }
+            CExpr::Bin(op, a, b) => {
+                // Constant RHS folds into the op itself (`BinImm`) for the
+                // total ops; `Div`/`Rem` keep the generic faulting path.
+                if let CExpr::I(v) = b.as_ref() {
+                    if !matches!(op, BinOp::Div | BinOp::Rem) {
+                        let ra = self.lower_expr(a);
+                        self.emit(Op::BinImm { dst, op: *op, a: ra, v: *v });
+                        return;
+                    }
+                }
+                let ra = self.lower_expr(a);
+                let rb = self.lower_expr(b);
+                self.emit(Op::Bin { dst, op: *op, a: ra, b: rb });
+            }
+        }
+    }
+
+    /// Lower a statement list; returns the emitted `SeqCheck` pcs so the
+    /// caller can patch them to the list's end (which the caller only knows
+    /// once it has emitted the construct's join/exit op).
+    fn lower_list(&mut self, stmts: &[CStmt]) -> Vec<u32> {
+        let mut checks = Vec::new();
+        let mut can_ret = false;
+        for s in stmts {
+            if can_ret {
+                checks.push(self.emit(Op::SeqCheck { end: 0 }));
+            }
+            self.lower_stmt(s);
+            can_ret = can_ret || stmt_can_return(s);
+        }
+        checks
+    }
+
+    fn patch_checks(&mut self, checks: Vec<u32>, target: u32) {
+        for pc in checks {
+            if let Op::SeqCheck { end } = &mut self.ops[pc as usize] {
+                *end = target;
+            }
+        }
+    }
+
+    fn lower_stmt(&mut self, s: &CStmt) {
+        let tp0 = self.tp;
+        match s {
+            CStmt::Assign { slot, value, ops } => {
+                self.charge(*ops);
+                let r = self.lower_expr(value);
+                self.emit(Op::CopyMasked { dst: *slot, src: r });
+            }
+            CStmt::Store { handle, index, value, ops } => {
+                self.charge(*ops);
+                let rh = self.lower_expr(handle);
+                let ri = self.lower_expr(index);
+                let rv = self.lower_expr(value);
+                self.emit(Op::Store { h: rh, i: ri, v: rv });
+            }
+            CStmt::Atomic { op, old, handle, index, value, value2, ops } => {
+                self.charge(*ops);
+                let rh = self.lower_expr(handle);
+                let ri = self.lower_expr(index);
+                let rv = self.lower_expr(value);
+                let rv2 = match value2 {
+                    Some(v) => self.lower_expr(v),
+                    None => NONE_REG,
+                };
+                self.emit(Op::Atomic {
+                    op: *op,
+                    old: old.unwrap_or(NONE_REG),
+                    h: rh,
+                    i: ri,
+                    v: rv,
+                    v2: rv2,
+                });
+            }
+            CStmt::If { cond, then, els, ops } => {
+                self.charge(*ops);
+                let rc = self.lower_expr(cond);
+                let save = self.alloc_masks(2);
+                let split = self.emit(Op::IfSplit { c: rc, save, else_to: 0 });
+                let then_checks = self.lower_list(then);
+                if els.is_empty() {
+                    let endif = self.emit(Op::EndIf { save });
+                    if let Op::IfSplit { else_to, .. } = &mut self.ops[split as usize] {
+                        *else_to = endif;
+                    }
+                    self.patch_checks(then_checks, endif);
+                } else {
+                    let else_join = self.emit(Op::ElseJoin { save, end: 0 });
+                    if let Op::IfSplit { else_to, .. } = &mut self.ops[split as usize] {
+                        *else_to = else_join;
+                    }
+                    self.patch_checks(then_checks, else_join);
+                    let else_checks = self.lower_list(els);
+                    let endif = self.emit(Op::EndIf { save });
+                    if let Op::ElseJoin { end, .. } = &mut self.ops[else_join as usize] {
+                        *end = endif;
+                    }
+                    self.patch_checks(else_checks, endif);
+                }
+                self.mask_depth = save;
+            }
+            CStmt::While { cond, body, ops } => {
+                let save = self.alloc_masks(1);
+                self.emit(Op::SaveMask { save });
+                let head = self.pc();
+                let iter = self.emit(Op::LoopIter { ops: *ops, exit: 0 });
+                let rc = self.lower_expr(cond);
+                let cl = self.emit(Op::CondLoop { c: rc, exit: 0 });
+                let checks = self.lower_list(body);
+                let back = self.emit(Op::Jump { to: head });
+                let exit = self.emit(Op::LoadMask { save });
+                if let Op::LoopIter { exit: e, .. } = &mut self.ops[iter as usize] {
+                    *e = exit;
+                }
+                if let Op::CondLoop { exit: e, .. } = &mut self.ops[cl as usize] {
+                    *e = exit;
+                }
+                self.patch_checks(checks, back);
+                self.mask_depth = save;
+            }
+            CStmt::For { var, lo, hi, step, body, ops } => {
+                let rlo = self.lower_expr(lo);
+                self.emit(Op::CopyMasked { dst: *var, src: rlo });
+                self.tp = tp0;
+                let save = self.alloc_masks(2);
+                self.emit(Op::SaveMask { save });
+                let head = self.pc();
+                let iter = self.emit(Op::LoopIter { ops: *ops, exit: 0 });
+                // A literal bound would re-splat an `Imm` every iteration;
+                // fold it into the condition op instead.
+                let fc = if let CExpr::I(v) = hi {
+                    self.emit(Op::ForCondI { var: *var, hi: *v, save: save + 1, exit: 0 })
+                } else {
+                    let rhi = self.lower_expr(hi);
+                    self.emit(Op::ForCond { var: *var, hi: rhi, save: save + 1, exit: 0 })
+                };
+                let checks = self.lower_list(body);
+                // The step executes under the full iteration mask — including
+                // lanes that returned inside the body, exactly like the tree
+                // walker — so restore it before evaluating the step.
+                let step_pc = self.emit(Op::LoadMask { save: save + 1 });
+                self.tp = tp0;
+                if let CExpr::I(v) = step {
+                    self.emit(Op::ForStepI { var: *var, step: *v });
+                } else {
+                    let rstep = self.lower_expr(step);
+                    self.emit(Op::ForStep { var: *var, step: rstep });
+                }
+                self.emit(Op::Jump { to: head });
+                let exit = self.emit(Op::LoadMask { save });
+                if let Op::LoopIter { exit: e, .. } = &mut self.ops[iter as usize] {
+                    *e = exit;
+                }
+                match &mut self.ops[fc as usize] {
+                    Op::ForCond { exit: e, .. } | Op::ForCondI { exit: e, .. } => *e = exit,
+                    _ => unreachable!("fc indexes the ForCond just emitted"),
+                }
+                self.patch_checks(checks, step_pc);
+                self.mask_depth = save;
+            }
+            CStmt::Compute { units, ops } => {
+                self.charge(*ops);
+                let ru = self.lower_expr(units);
+                self.emit(Op::Compute { units: ru });
+            }
+            CStmt::Launch { target, grid, block, args, ops } => {
+                self.charge(*ops);
+                let rg = self.lower_expr(grid);
+                let rb = self.lower_expr(block);
+                let args_at = self.tp;
+                for a in args {
+                    let dst = self.alloc_temp();
+                    self.lower_expr_into(a, dst);
+                }
+                let target = u16::try_from(*target).expect("module kernel index fits u16");
+                self.emit(Op::Launch {
+                    target,
+                    grid: rg,
+                    block: rb,
+                    args_at,
+                    n_args: args.len() as u16,
+                });
+            }
+            CStmt::Sync => {
+                self.emit(Op::Sync);
+            }
+            CStmt::DeviceSync => {
+                self.emit(Op::DeviceSync);
+            }
+            CStmt::Alloc { handle_slot, offset_slot, words, scope, site, ops } => {
+                self.charge(*ops);
+                let rw = self.lower_expr(words);
+                self.emit(Op::Alloc {
+                    handle_slot: *handle_slot,
+                    offset_slot: *offset_slot,
+                    words: rw,
+                    scope: *scope,
+                    site: *site,
+                });
+            }
+            CStmt::Return => {
+                self.emit(Op::Return);
+            }
+        }
+        self.tp = tp0;
+    }
+}
+
+// ------------------------------------------------------------------------
+// Execution.
+// ------------------------------------------------------------------------
+
+/// Reusable per-thread scratch: the bytecode VM's register file, mask slots,
+/// launch arena and bookkeeping maps persist across `run_block` calls so the
+/// hot functional loop stops paying one allocator round-trip per block.
+/// Capture is single-threaded per engine (the tuner parallelizes across
+/// engines on separate threads), so thread-local reuse is exact.
+struct Scratch {
+    regs: Vec<Lanes>,
+    masks: Vec<u32>,
+    arena: Vec<LaunchSpec>,
+    addrs: Vec<u64>,
+    block_allocs: HashMap<u32, (i64, i64)>,
+    /// Per-warp chunk traces of the block in flight; the buffers (and their
+    /// capacity) are recycled across blocks via `trace_pool`.
+    traces: Vec<Vec<Chunk>>,
+    trace_pool: Vec<Vec<Chunk>>,
+}
+
+thread_local! {
+    static SCRATCH: std::cell::RefCell<Scratch> = std::cell::RefCell::new(Scratch {
+        regs: Vec::new(),
+        masks: Vec::new(),
+        arena: Vec::new(),
+        addrs: Vec::with_capacity(32),
+        block_allocs: HashMap::new(),
+        traces: Vec::new(),
+        trace_pool: Vec::new(),
+    });
+}
+
+/// Execute one block through the bytecode VM. Mirrors the tree walker's
+/// `run_block_tree` exactly; all per-warp state lives in thread-local scratch
+/// buffers reused across warps and blocks.
+pub(crate) fn run_block(
+    k: &CKernel,
+    bk: &ByteKernel,
+    ids: &[KernelId],
+    ctx: &mut BlockCtx<'_>,
+) -> Result<BlockResult, SimError> {
+    SCRATCH.with(|scratch| {
+        let s = &mut *scratch.borrow_mut();
+        run_block_with(k, bk, ids, ctx, s)
+    })
+}
+
+fn run_block_with(
+    k: &CKernel,
+    bk: &ByteKernel,
+    ids: &[KernelId],
+    ctx: &mut BlockCtx<'_>,
+    s: &mut Scratch,
+) -> Result<BlockResult, SimError> {
+    let warps = ctx.block_dim.div_ceil(ctx.warp_size);
+    let n_slots = bk.n_slots as usize;
+    // Grow-only buffers: stale temporary-register and mask contents are
+    // unobservable (temps and mask slots are written before every read; the
+    // variable slots `0..n_slots` are re-zeroed per warp below).
+    if s.regs.len() < bk.n_regs as usize {
+        s.regs.resize(bk.n_regs as usize, [0; 32]);
+    }
+    if s.masks.len() < bk.n_masks as usize {
+        s.masks.resize(bk.n_masks as usize, 0);
+    }
+    s.arena.clear();
+    s.block_allocs.clear();
+    // Recycle last block's chunk buffers: emptied, capacity kept.
+    for mut t in s.traces.drain(..) {
+        t.clear();
+        s.trace_pool.push(t);
+    }
+    for w in 0..warps {
+        // Variable slots start zeroed per warp (the tree walker's fresh
+        // `env`); temporaries are always written before read and carry over.
+        s.regs[..n_slots].fill([0; 32]);
+        let nlanes = (ctx.block_dim - w * ctx.warp_size).min(ctx.warp_size);
+        let mask = if nlanes >= 32 { u32::MAX } else { (1u32 << nlanes) - 1 };
+        let chunk_launch_start = s.arena.len() as u32;
+        let chunks = s.trace_pool.pop().unwrap_or_default();
+        let mut vm = Vm {
+            ctx,
+            kname: &k.name,
+            ids,
+            warp: w,
+            regs: &mut s.regs,
+            masks: &mut s.masks,
+            arena: &mut s.arena,
+            addrs: &mut s.addrs,
+            block_allocs: &mut s.block_allocs,
+            mask,
+            returned: 0,
+            iters: 0,
+            cur: Chunk::default(),
+            chunk_launch_start,
+            chunks,
+            sites: [(0, 0); 32],
+        };
+        match vm.run(&bk.ops) {
+            Ok(()) => s.traces.push(vm.finish()),
+            Err(e) => return Err(e),
+        }
+    }
+    assemble_block(k, ctx, &s.traces, &s.arena)
+}
+
+struct Vm<'a, 'b, 'c> {
+    ctx: &'a mut BlockCtx<'b>,
+    kname: &'a str,
+    ids: &'a [KernelId],
+    warp: u32,
+    /// SoA register file: one 32-lane row per register. Fixed-size rows keep
+    /// the lane loops bounds-check-free and let the pure ops vectorize.
+    regs: &'c mut [Lanes],
+    /// Static mask slots (see [`Op`]).
+    masks: &'c mut [u32],
+    arena: &'c mut Vec<LaunchSpec>,
+    addrs: &'c mut Vec<u64>,
+    block_allocs: &'c mut HashMap<u32, (i64, i64)>,
+    mask: u32,
+    returned: u32,
+    iters: u64,
+    cur: Chunk,
+    chunk_launch_start: u32,
+    chunks: Vec<Chunk>,
+    /// Per-lane `(array, index)` pairs resolved by the last [`Vm::group_cost`]
+    /// call; `Load`/`Store`/`Atomic` reuse them via the validated accessors
+    /// instead of re-resolving (and re-bounds-checking) every lane.
+    sites: [(usize, usize); 32],
+}
+
+/// Full-width binop over all 32 lanes, active or not. Sound for every op
+/// except `Div`/`Rem`: [`scalar_binop_total`] cannot fault on the garbage in
+/// inactive lanes, and inactive lanes of an expression temporary are never
+/// observed. The op match sits **outside** the lane loop so each arm
+/// monomorphizes — and the loop vectorizes — the shared scalar semantics.
+#[inline]
+fn vector_binop(op: BinOp, a: &Lanes, b: &Lanes, d: &mut Lanes) {
+    macro_rules! arms {
+        ($($v:ident),* $(,)?) => {
+            match op {
+                BinOp::Div | BinOp::Rem => {
+                    unreachable!("Div/Rem take the masked faulting path")
+                }
+                $(BinOp::$v => {
+                    for l in 0..32 {
+                        d[l] = scalar_binop_total(BinOp::$v, a[l], b[l]);
+                    }
+                })*
+            }
+        };
+    }
+    arms!(Add, Sub, Mul, Min, Max, And, Or, Xor, Shl, Shr, Eq, Ne, Lt, Le, Gt, Ge, LAnd, LOr)
+}
+
+/// Bitmask of lanes whose row value is nonzero (all 32 lanes; callers AND
+/// with the active mask, so garbage in inactive lanes drops out).
+#[inline]
+fn nonzero_lanes(row: &Lanes) -> u32 {
+    let mut m = 0u32;
+    for (l, v) in row.iter().enumerate() {
+        m |= ((*v != 0) as u32) << l;
+    }
+    m
+}
+
+/// Iterate the set lanes of a mask, in lane order. The full-warp mask — the
+/// overwhelmingly common case — takes a plain `0..32` loop the compiler can
+/// unroll; sparse masks walk their set bits.
+macro_rules! for_lanes {
+    ($mask:expr, $l:ident, $body:block) => {{
+        let __m = $mask;
+        if __m == u32::MAX {
+            for $l in 0..32usize {
+                $body
+            }
+        } else {
+            let mut __m = __m;
+            while __m != 0 {
+                let $l = __m.trailing_zeros() as usize;
+                __m &= __m - 1;
+                $body
+            }
+        }
+    }};
+}
+
+impl Vm<'_, '_, '_> {
+    fn fault(&self, message: impl Into<String>) -> SimError {
+        SimError::KernelFault { kernel: self.kname.to_string(), message: message.into() }
+    }
+
+    fn finish(mut self) -> Vec<Chunk> {
+        self.cut(Boundary::End);
+        self.chunks
+    }
+
+    fn cut(&mut self, b: Boundary) {
+        self.cur.boundary = b;
+        self.cur.launches = (self.chunk_launch_start, self.arena.len() as u32);
+        self.chunk_launch_start = self.arena.len() as u32;
+        self.chunks.push(std::mem::take(&mut self.cur));
+    }
+
+    fn charge(&mut self, c: u64, lanes: u32) {
+        self.cur.cycles += c;
+        self.cur.active += c * lanes.count_ones() as u64;
+    }
+
+    /// Coalesced-group cost of one memory access (`h[i]` per active lane):
+    /// identical to the tree walker's `mem_group_cost`.
+    fn group_cost(&mut self, h: u16, i: u16) -> Result<(), SimError> {
+        let (hb, ib) = (h as usize, i as usize);
+        self.addrs.clear();
+        // Warp-uniform handle (one array accessed by every active lane) is
+        // the overwhelmingly common shape: resolve the array once and only
+        // range-check each lane's index. Faults are constructed identically
+        // to `resolve_addr`/`global_addr`, in the same lane order.
+        let first = self.mask.trailing_zeros() as usize;
+        let h0 = self.regs[hb][first.min(31)];
+        let mut eq = 0u32;
+        for (l, v) in self.regs[hb].iter().enumerate() {
+            eq |= ((*v == h0) as u32) << l;
+        }
+        if self.mask != 0 && eq & self.mask == self.mask {
+            let a = self.ctx.mem.handle_from_value(h0)?;
+            let (base, len) = self.ctx.mem.base_len(a)?;
+            for_lanes!(self.mask, l, {
+                let iv = self.regs[ib][l];
+                match usize::try_from(iv) {
+                    Ok(idx) if idx < len => {
+                        self.addrs.push(base + idx as u64);
+                        self.sites[l] = (a, idx);
+                    }
+                    _ => {
+                        return Err(SimError::OutOfBounds {
+                            array: self.ctx.mem.label(a).unwrap_or("?").to_string(),
+                            handle: h0,
+                            index: iv,
+                            len,
+                        });
+                    }
+                }
+            });
+        } else {
+            for_lanes!(self.mask, l, {
+                let (a, idx) = resolve_addr(self.ctx.mem, self.regs[hb][l], self.regs[ib][l])?;
+                self.addrs.push(self.ctx.mem.global_addr(a, idx)?);
+                self.sites[l] = (a, idx);
+            });
+        }
+        let (cycles, new_tx) = charge_group_from_addrs(self.ctx, self.addrs);
+        self.cur.dram += new_tx;
+        self.charge(cycles, self.mask);
+        Ok(())
+    }
+
+    fn run(&mut self, ops: &[Op]) -> Result<(), SimError> {
+        let cpo = self.ctx.cost.compute_cycles_per_op;
+        let mut pc = 0usize;
+        while pc < ops.len() {
+            let op = ops[pc];
+            pc += 1;
+            match op {
+                Op::Imm { dst, v } => {
+                    self.regs[dst as usize] = [v; 32];
+                }
+                Op::Sp { dst, s } => {
+                    let d = &mut self.regs[dst as usize];
+                    match s {
+                        Special::Gtid => {
+                            let base = self.ctx.block_id as i64 * self.ctx.block_dim as i64
+                                + (self.warp * self.ctx.warp_size) as i64;
+                            for (l, o) in d.iter_mut().enumerate() {
+                                *o = base + l as i64;
+                            }
+                        }
+                        Special::Tid => {
+                            let base = (self.warp * self.ctx.warp_size) as i64;
+                            for (l, o) in d.iter_mut().enumerate() {
+                                *o = base + l as i64;
+                            }
+                        }
+                        Special::CtaId => *d = [self.ctx.block_id as i64; 32],
+                        Special::NTid => *d = [self.ctx.block_dim as i64; 32],
+                        Special::NCta => *d = [self.ctx.grid_dim as i64; 32],
+                        Special::Depth => *d = [self.ctx.depth as i64; 32],
+                    }
+                }
+                Op::ArgLd { dst, idx } => {
+                    self.regs[dst as usize] = [self.ctx.args[idx as usize]; 32];
+                }
+                Op::CopyMasked { dst, src } => {
+                    if self.mask == u32::MAX {
+                        let row = self.regs[src as usize];
+                        self.regs[dst as usize] = row;
+                    } else {
+                        let row = self.regs[src as usize];
+                        let d = &mut self.regs[dst as usize];
+                        let m = self.mask;
+                        for l in 0..32 {
+                            if m & (1 << l) != 0 {
+                                d[l] = row[l];
+                            }
+                        }
+                    }
+                }
+                Op::Un { dst, op, a } => {
+                    // Full warps take the full-width vector path (Neg/Not are
+                    // total and inactive temp lanes are never observed);
+                    // divergent warps only touch their active lanes.
+                    let av = self.regs[a as usize];
+                    let d = &mut self.regs[dst as usize];
+                    match (self.mask == u32::MAX, op) {
+                        (true, UnOp::Neg) => {
+                            for l in 0..32 {
+                                d[l] = av[l].wrapping_neg();
+                            }
+                        }
+                        (true, UnOp::Not) => {
+                            for l in 0..32 {
+                                d[l] = (av[l] == 0) as i64;
+                            }
+                        }
+                        (false, UnOp::Neg) => for_lanes!(self.mask, l, {
+                            d[l] = av[l].wrapping_neg();
+                        }),
+                        (false, UnOp::Not) => for_lanes!(self.mask, l, {
+                            d[l] = (av[l] == 0) as i64;
+                        }),
+                    }
+                }
+                Op::Bin { dst, op, a, b } => match op {
+                    BinOp::Div | BinOp::Rem => {
+                        let (av, bv) = (self.regs[a as usize], self.regs[b as usize]);
+                        let mut out = self.regs[dst as usize];
+                        for_lanes!(self.mask, l, {
+                            out[l] = scalar_binop(op, av[l], bv[l])
+                                .map_err(|f| self.fault(f.message()))?;
+                        });
+                        self.regs[dst as usize] = out;
+                    }
+                    _ if self.mask == u32::MAX => {
+                        let (av, bv) = (self.regs[a as usize], self.regs[b as usize]);
+                        vector_binop(op, &av, &bv, &mut self.regs[dst as usize]);
+                    }
+                    _ => {
+                        let (av, bv) = (self.regs[a as usize], self.regs[b as usize]);
+                        let d = &mut self.regs[dst as usize];
+                        for_lanes!(self.mask, l, {
+                            d[l] = scalar_binop_total(op, av[l], bv[l]);
+                        });
+                    }
+                },
+                Op::BinImm { dst, op, a, v } => {
+                    let av = self.regs[a as usize];
+                    if self.mask == u32::MAX {
+                        let bv = [v; 32];
+                        vector_binop(op, &av, &bv, &mut self.regs[dst as usize]);
+                    } else {
+                        let d = &mut self.regs[dst as usize];
+                        for_lanes!(self.mask, l, {
+                            d[l] = scalar_binop_total(op, av[l], v);
+                        });
+                    }
+                }
+                Op::Load { dst, h, i } => {
+                    self.group_cost(h, i)?;
+                    let db = dst as usize;
+                    for_lanes!(self.mask, l, {
+                        let (a, idx) = self.sites[l];
+                        self.regs[db][l] = self.ctx.mem.read_validated(a, idx);
+                    });
+                }
+                Op::ScSplit { dst, a, is_and, save, skip } => {
+                    let av = self.regs[a as usize];
+                    let d = &mut self.regs[dst as usize];
+                    let mut need = 0u32;
+                    for_lanes!(self.mask, l, {
+                        let decided = is_and == (av[l] == 0);
+                        if decided {
+                            d[l] = !is_and as i64;
+                        } else {
+                            need |= 1 << l;
+                        }
+                    });
+                    if need == 0 {
+                        pc = skip as usize;
+                    } else {
+                        self.masks[save as usize] = self.mask;
+                        self.mask = need;
+                    }
+                }
+                Op::ScEnd { dst, b, save } => {
+                    let bv = self.regs[b as usize];
+                    let d = &mut self.regs[dst as usize];
+                    for_lanes!(self.mask, l, {
+                        d[l] = (bv[l] != 0) as i64;
+                    });
+                    self.mask = self.masks[save as usize];
+                }
+                Op::Charge { ops } => {
+                    self.charge(ops as u64 * cpo, self.mask);
+                }
+                Op::SeqCheck { end } => {
+                    self.mask &= !self.returned;
+                    if self.mask == 0 {
+                        pc = end as usize;
+                    }
+                }
+                Op::Store { h, i, v } => {
+                    self.group_cost(h, i)?;
+                    let vb = v as usize;
+                    for_lanes!(self.mask, l, {
+                        let (a, idx) = self.sites[l];
+                        self.ctx.mem.write_validated(a, idx, self.regs[vb][l]);
+                    });
+                }
+                Op::Atomic { op, old, h, i, v, v2 } => {
+                    self.group_cost(h, i)?;
+                    // Atomics serialize across lanes.
+                    let n = self.mask.count_ones() as u64;
+                    let ac = self.ctx.cost.atomic_cycles;
+                    self.cur.cycles += ac * n;
+                    self.cur.active += ac * n;
+                    let vb = v as usize;
+                    let mut olds = [0i64; 32];
+                    // Same read-modify-write semantics as the `GlobalMem`
+                    // `atomic_*` helpers, over the sites `group_cost` already
+                    // resolved and bounds-checked.
+                    for_lanes!(self.mask, l, {
+                        let (a, idx) = self.sites[l];
+                        let val = self.regs[vb][l];
+                        let old = self.ctx.mem.read_validated(a, idx);
+                        match op {
+                            AtomicOp::Add => {
+                                self.ctx.mem.write_validated(a, idx, old.wrapping_add(val));
+                            }
+                            AtomicOp::Min => {
+                                if val < old {
+                                    self.ctx.mem.write_validated(a, idx, val);
+                                }
+                            }
+                            AtomicOp::Max => {
+                                if val > old {
+                                    self.ctx.mem.write_validated(a, idx, val);
+                                }
+                            }
+                            AtomicOp::Exch => self.ctx.mem.write_validated(a, idx, val),
+                            AtomicOp::Cas => {
+                                if old == val {
+                                    let desired = self.regs[v2 as usize][l];
+                                    self.ctx.mem.write_validated(a, idx, desired);
+                                }
+                            }
+                        }
+                        olds[l] = old;
+                    });
+                    if old != NONE_REG {
+                        let d = &mut self.regs[old as usize];
+                        for_lanes!(self.mask, l, {
+                            d[l] = olds[l];
+                        });
+                    }
+                }
+                Op::Compute { units } => {
+                    let ub = units as usize;
+                    let mut maxu = 0u64;
+                    let mut sum = 0u64;
+                    for_lanes!(self.mask, l, {
+                        let w = self.regs[ub][l].max(0) as u64;
+                        maxu = maxu.max(w);
+                        sum += w;
+                    });
+                    self.cur.cycles += maxu * cpo;
+                    self.cur.active += sum * cpo;
+                }
+                Op::Launch { target, grid, block, args_at, n_args } => {
+                    let lc = self.ctx.cost.device_launch_cycles;
+                    let (gb, bb) = (grid as usize, block as usize);
+                    let kid = self.ids[target as usize];
+                    // One child grid per active lane; launches serialize, and
+                    // each lane is only active during its own launch.
+                    for_lanes!(self.mask, l, {
+                        let grid_l = launch_dim(self.kname, "grid", l, self.regs[gb][l])?;
+                        let block_l = launch_dim(self.kname, "block", l, self.regs[bb][l])?;
+                        self.cur.cycles += lc;
+                        self.cur.active += lc;
+                        let args = (0..n_args as usize)
+                            .map(|a| self.regs[args_at as usize + a][l])
+                            .collect();
+                        self.arena.push(LaunchSpec::new(kid, grid_l, block_l, args));
+                    });
+                }
+                Op::Sync => self.cut(Boundary::Sync),
+                Op::DeviceSync => self.cut(Boundary::DeviceSync),
+                Op::Alloc { handle_slot, offset_slot, words, scope, site } => {
+                    let first = self.mask.trailing_zeros() as usize;
+                    let words_req = self.regs[words as usize][first].max(1) as u64;
+                    let costs = self.ctx.cost;
+                    let kind = self.ctx.heap.kind;
+                    let (hv, ov) = match scope {
+                        AllocScope::Warp => {
+                            // The leader lane allocates; the warp waits.
+                            self.cur.cycles += kind.op_cycles(costs);
+                            self.cur.active += kind.op_cycles(costs);
+                            let off = self.ctx.heap.alloc(words_req, costs)?;
+                            (self.ctx.heap.array as i64, off as i64)
+                        }
+                        AllocScope::Block => {
+                            if let Some(&(h, o)) = self.block_allocs.get(&site) {
+                                // Other warps wait at the implied barrier.
+                                self.cur.cycles += kind.op_cycles(costs);
+                                (h, o)
+                            } else {
+                                self.cur.cycles += kind.op_cycles(costs);
+                                self.cur.active += kind.op_cycles(costs);
+                                let off = self.ctx.heap.alloc(words_req, costs)?;
+                                let pair = (self.ctx.heap.array as i64, off as i64);
+                                self.block_allocs.insert(site, pair);
+                                pair
+                            }
+                        }
+                    };
+                    for (slot, val) in [(handle_slot, hv), (offset_slot, ov)] {
+                        let d = &mut self.regs[slot as usize];
+                        for_lanes!(self.mask, l, {
+                            d[l] = val;
+                        });
+                    }
+                }
+                Op::Return => {
+                    self.returned |= self.mask;
+                }
+                Op::IfSplit { c, save, else_to } => {
+                    let t = nonzero_lanes(&self.regs[c as usize]) & self.mask;
+                    self.masks[save as usize] = self.mask;
+                    self.masks[save as usize + 1] = self.mask & !t;
+                    if t == 0 {
+                        pc = else_to as usize;
+                    } else {
+                        self.mask = t;
+                    }
+                }
+                Op::ElseJoin { save, end } => {
+                    self.mask = self.masks[save as usize + 1];
+                    if self.mask == 0 {
+                        pc = end as usize;
+                    }
+                }
+                Op::EndIf { save } => {
+                    self.mask = self.masks[save as usize];
+                }
+                Op::SaveMask { save } => {
+                    self.masks[save as usize] = self.mask;
+                }
+                Op::LoadMask { save } => {
+                    self.mask = self.masks[save as usize];
+                }
+                Op::LoopIter { ops, exit } => {
+                    self.mask &= !self.returned;
+                    if self.mask == 0 {
+                        pc = exit as usize;
+                    } else {
+                        // Fuel first: the tuner watchdog converts runaway
+                        // loops into a deterministic `FuelExhausted` long
+                        // before the per-warp safety valve trips.
+                        self.ctx.fuel.spend(1)?;
+                        self.iters += 1;
+                        if self.iters > MAX_WARP_ITERATIONS {
+                            return Err(self.fault(WARP_ITER_LIMIT_MSG));
+                        }
+                        self.charge(ops as u64 * cpo, self.mask);
+                    }
+                }
+                Op::CondLoop { c, exit } => {
+                    let next = nonzero_lanes(&self.regs[c as usize]) & self.mask;
+                    if next == 0 {
+                        pc = exit as usize;
+                    } else {
+                        self.mask = next;
+                    }
+                }
+                Op::ForCond { var, hi, save, exit } => {
+                    let (vv, hv) = (&self.regs[var as usize], &self.regs[hi as usize]);
+                    let mut lt = 0u32;
+                    for l in 0..32 {
+                        lt |= ((vv[l] < hv[l]) as u32) << l;
+                    }
+                    let next = lt & self.mask;
+                    if next == 0 {
+                        pc = exit as usize;
+                    } else {
+                        self.masks[save as usize] = next;
+                        self.mask = next;
+                    }
+                }
+                Op::ForCondI { var, hi, save, exit } => {
+                    let vv = &self.regs[var as usize];
+                    let mut lt = 0u32;
+                    for l in 0..32 {
+                        lt |= ((vv[l] < hi) as u32) << l;
+                    }
+                    let next = lt & self.mask;
+                    if next == 0 {
+                        pc = exit as usize;
+                    } else {
+                        self.masks[save as usize] = next;
+                        self.mask = next;
+                    }
+                }
+                Op::ForStep { var, step } => {
+                    let sv = self.regs[step as usize];
+                    let d = &mut self.regs[var as usize];
+                    let m = self.mask;
+                    for l in 0..32 {
+                        if m & (1 << l) != 0 {
+                            d[l] = d[l].wrapping_add(sv[l]);
+                        }
+                    }
+                }
+                Op::ForStepI { var, step } => {
+                    let d = &mut self.regs[var as usize];
+                    let m = self.mask;
+                    for l in 0..32 {
+                        if m & (1 << l) != 0 {
+                            d[l] = d[l].wrapping_add(step);
+                        }
+                    }
+                }
+                Op::Jump { to } => {
+                    pc = to as usize;
+                }
+            }
+        }
+        Ok(())
+    }
+}

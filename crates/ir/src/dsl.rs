@@ -111,10 +111,17 @@ pub fn lor(a: Expr, b: Expr) -> Expr {
     bin(BinOp::LOr, a, b)
 }
 
+/// `a << b` with **total** shift semantics: a shift amount outside `0..=63`
+/// (negative, or ≥ the 64-bit width) yields `0` instead of wrapping the
+/// amount modulo 64. This matches the C/CUDA convention of never exercising
+/// the undefined-behavior range — `x << 64` is `0`, not `x`.
 pub fn shl(a: Expr, b: Expr) -> Expr {
     bin(BinOp::Shl, a, b)
 }
 
+/// `a >> b` (arithmetic) with **total** shift semantics: a shift amount
+/// outside `0..=63` yields `0` (see [`shl`]); in-range shifts are sign-
+/// propagating (`-8 >> 1` is `-4`).
 pub fn shr(a: Expr, b: Expr) -> Expr {
     bin(BinOp::Shr, a, b)
 }

@@ -1,4 +1,5 @@
-//! Warp-lockstep SIMT interpreter.
+//! Warp-lockstep SIMT interpretation: engine selection, the tree-walking
+//! reference executor, and the shared trace/assembly machinery.
 //!
 //! Each warp executes the compiled kernel over 32-lane value vectors with an
 //! active mask, exactly like SIMT hardware:
@@ -17,46 +18,283 @@
 //!   is the per-phase maximum over warps,
 //! * `cudaDeviceSynchronize` splits the block into segments the timing engine
 //!   can swap out around.
+//!
+//! Two executors implement these semantics over the same compiled module:
+//!
+//! * the **bytecode VM** ([`crate::bytecode`]) — the default hot path: each
+//!   kernel is lowered once into a flat `Vec<Op>` with explicit jump targets
+//!   and executed over a flat SoA register file,
+//! * the **tree walker** (this module) — the readable reference
+//!   implementation, kept as the differential oracle and reachable via
+//!   `DPCONS_INTERP=tree` (or [`set_engine_override`]).
+//!
+//! Both funnel their warp traces through the same [`assemble_block`], so the
+//! segment/phase assembly cannot diverge between them.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use dpcons_sim::{
-    coalesced_transactions, BlockCtx, BlockResult, KernelBody, KernelId, LaunchSpec, SegmentResult,
-    SimError,
+    coalesced_transactions, BlockCtx, BlockResult, GlobalMem, KernelBody, KernelId, LaunchSpec,
+    SegmentResult, SimError,
 };
 
 use crate::ast::{AllocScope, AtomicOp, BinOp, Module, UnOp};
+use crate::bytecode::{lower_module, ByteKernel};
 use crate::compile::{compile_module, CExpr, CKernel, CModule, CStmt, IrError};
 
 /// Per-warp iteration safety valve: a single warp executing more than this
 /// many loop iterations is assumed to be stuck.
-const MAX_WARP_ITERATIONS: u64 = 200_000_000;
+pub(crate) const MAX_WARP_ITERATIONS: u64 = 200_000_000;
 
-type Lanes = [i64; 32];
+/// Fault message for the safety valve — identical in both executors.
+pub(crate) const WARP_ITER_LIMIT_MSG: &str = "warp exceeded the loop-iteration safety limit";
 
+pub(crate) type Lanes = [i64; 32];
+
+// ------------------------------------------------------------------------
+// Executor selection.
+// ------------------------------------------------------------------------
+
+/// Which functional executor runs compiled kernels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Boundary {
+pub enum ExecEngine {
+    /// Flat bytecode VM over a SoA register file (the default hot path).
+    Bytecode,
+    /// Recursive tree walker over `CStmt`/`CExpr` (reference oracle).
+    Tree,
+}
+
+impl ExecEngine {
+    /// Stable label used in benchmark records and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            ExecEngine::Bytecode => "bytecode",
+            ExecEngine::Tree => "tree",
+        }
+    }
+}
+
+/// Process-wide override: 0 = none (env decides), 1 = bytecode, 2 = tree.
+static ENGINE_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+fn env_engine() -> ExecEngine {
+    static ENV: OnceLock<ExecEngine> = OnceLock::new();
+    *ENV.get_or_init(|| match std::env::var("DPCONS_INTERP").as_deref() {
+        Ok("tree") => ExecEngine::Tree,
+        _ => ExecEngine::Bytecode,
+    })
+}
+
+/// The executor used by kernels installed without an explicit pin: the
+/// process-wide override if set, else `DPCONS_INTERP` (`tree` selects the
+/// tree walker; anything else — including unset — selects the bytecode VM).
+pub fn engine_choice() -> ExecEngine {
+    match ENGINE_OVERRIDE.load(Ordering::Relaxed) {
+        1 => ExecEngine::Bytecode,
+        2 => ExecEngine::Tree,
+        _ => env_engine(),
+    }
+}
+
+/// Current process-wide override, if any (see [`set_engine_override`]).
+pub fn engine_override() -> Option<ExecEngine> {
+    match ENGINE_OVERRIDE.load(Ordering::Relaxed) {
+        1 => Some(ExecEngine::Bytecode),
+        2 => Some(ExecEngine::Tree),
+        _ => None,
+    }
+}
+
+/// Force every subsequently-launched kernel onto one executor (`None`
+/// restores `DPCONS_INTERP`/default selection). Process-global: callers that
+/// flip it around a measurement must restore the previous value and must not
+/// run concurrently with other launches they don't want affected — tests that
+/// need per-run pinning should use [`install_with_engine`] instead.
+pub fn set_engine_override(engine: Option<ExecEngine>) {
+    let v = match engine {
+        None => 0,
+        Some(ExecEngine::Bytecode) => 1,
+        Some(ExecEngine::Tree) => 2,
+    };
+    ENGINE_OVERRIDE.store(v, Ordering::Relaxed);
+}
+
+// ------------------------------------------------------------------------
+// Shared warp-trace model.
+// ------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub(crate) enum Boundary {
     Sync,
     DeviceSync,
+    #[default]
     End,
 }
 
+/// One `__syncthreads`-delimited span of a warp's execution. `launches` is a
+/// half-open index range into the per-block launch arena — keeping the chunk
+/// flat (no inner `Vec`) is what lets both executors reuse one arena per
+/// block instead of allocating per chunk.
 #[derive(Debug, Default, Clone)]
-struct Chunk {
-    cycles: u64,
-    active: u64,
-    dram: u64,
-    launches: Vec<LaunchSpec>,
-    boundary: Option<Boundary>,
+pub(crate) struct Chunk {
+    pub cycles: u64,
+    pub active: u64,
+    pub dram: u64,
+    pub launches: (u32, u32),
+    pub boundary: Boundary,
 }
+
+// ------------------------------------------------------------------------
+// Shared scalar semantics (used by both executors, pinned by tests).
+// ------------------------------------------------------------------------
+
+/// Division faults carry no lane info at this level; executors wrap them
+/// into a `KernelFault` naming the kernel.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum BinFault {
+    DivZero,
+    RemZero,
+}
+
+impl BinFault {
+    pub(crate) fn message(self) -> &'static str {
+        match self {
+            BinFault::DivZero => "division by zero",
+            BinFault::RemZero => "remainder by zero",
+        }
+    }
+}
+
+/// Scalar binary-op semantics shared by the tree walker and the bytecode VM.
+///
+/// Shifts are **total**: a shift amount outside `0..=63` yields 0 (for both
+/// `<<` and `>>`), matching the C/CUDA convention of avoiding the UB range
+/// rather than silently wrapping the amount mod 64 (the historical behaviour,
+/// where `x << 64` acted as `x << 0` and `x << -1` as `x << 63`).
+#[inline]
+pub(crate) fn scalar_binop(op: BinOp, a: i64, b: i64) -> Result<i64, BinFault> {
+    match op {
+        BinOp::Div => {
+            if b == 0 {
+                return Err(BinFault::DivZero);
+            }
+            Ok(a.wrapping_div(b))
+        }
+        BinOp::Rem => {
+            if b == 0 {
+                return Err(BinFault::RemZero);
+            }
+            Ok(a.wrapping_rem(b))
+        }
+        _ => Ok(scalar_binop_total(op, a, b)),
+    }
+}
+
+/// The total (never-faulting) subset of [`scalar_binop`]: every op except
+/// `Div`/`Rem`. The bytecode VM evaluates these full-width (all 32 lanes,
+/// active or not) so the lane loop vectorizes; that is only sound because
+/// these ops cannot fault on the garbage in inactive lanes.
+#[inline]
+pub(crate) fn scalar_binop_total(op: BinOp, a: i64, b: i64) -> i64 {
+    match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::Div | BinOp::Rem => unreachable!("Div/Rem take the faulting path"),
+        BinOp::Min => a.min(b),
+        BinOp::Max => a.max(b),
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => {
+            if (0..64).contains(&b) {
+                a.wrapping_shl(b as u32)
+            } else {
+                0
+            }
+        }
+        BinOp::Shr => {
+            if (0..64).contains(&b) {
+                a.wrapping_shr(b as u32)
+            } else {
+                0
+            }
+        }
+        BinOp::Eq => (a == b) as i64,
+        BinOp::Ne => (a != b) as i64,
+        BinOp::Lt => (a < b) as i64,
+        BinOp::Le => (a <= b) as i64,
+        BinOp::Gt => (a > b) as i64,
+        BinOp::Ge => (a >= b) as i64,
+        BinOp::LAnd => (a != 0 && b != 0) as i64,
+        BinOp::LOr => (a != 0 || b != 0) as i64,
+    }
+}
+
+/// Convert a lane's device-side launch dimension to `u32`, faulting (instead
+/// of silently clamping to 0) when the value does not fit — the clamp used to
+/// surface later as a misleading `BadLaunchConfig`.
+#[inline]
+pub(crate) fn launch_dim(kernel: &str, what: &str, lane: usize, v: i64) -> Result<u32, SimError> {
+    u32::try_from(v).map_err(|_| SimError::KernelFault {
+        kernel: kernel.to_string(),
+        message: format!(
+            "device-side launch {what} dimension {v} in lane {lane} is outside \
+             the valid u32 range 0..=4294967295"
+        ),
+    })
+}
+
+/// Resolve an (handle, index) pair against global memory, shared by both
+/// executors so out-of-bounds faults are formatted identically.
+#[inline]
+pub(crate) fn resolve_addr(
+    mem: &GlobalMem,
+    handle: i64,
+    index: i64,
+) -> Result<(usize, usize), SimError> {
+    let a = mem.handle_from_value(handle)?;
+    let i = usize::try_from(index).map_err(|_| SimError::OutOfBounds {
+        array: mem.label(a).unwrap_or("?").to_string(),
+        handle,
+        index,
+        len: mem.len(a).unwrap_or(0),
+    })?;
+    Ok((a, i))
+}
+
+/// Coalesce the already-resolved global addresses in `addrs` and charge DRAM
+/// traffic for segments this block has not yet touched. Returns
+/// `(warp_cycles, new_dram_transactions)`; `addrs` is left holding the
+/// segment ids (scratch reuse).
+#[inline]
+pub(crate) fn charge_group_from_addrs(ctx: &mut BlockCtx<'_>, addrs: &mut Vec<u64>) -> (u64, u64) {
+    let tx = coalesced_transactions(addrs, ctx.cost.segment_words);
+    let mut new_tx = 0u64;
+    for &seg in addrs.iter() {
+        if ctx.touched_segments.insert(seg) {
+            new_tx += 1;
+        }
+    }
+    (ctx.cost.mem_base_cycles + tx * ctx.cost.mem_cycles_per_transaction, new_tx)
+}
+
+// ------------------------------------------------------------------------
+// Installation and dispatch.
+// ------------------------------------------------------------------------
 
 /// A kernel from a compiled module, installed into a sim engine.
 pub struct IrKernelBody {
     module: Arc<CModule>,
+    /// Bytecode lowering of every module kernel, produced once at install.
+    bytecode: Arc<Vec<ByteKernel>>,
     idx: usize,
     /// Engine kernel ids for every module kernel, filled after registration.
     ids: Arc<OnceLock<Vec<KernelId>>>,
+    /// Per-install executor pin; `None` follows [`engine_choice`].
+    engine: Option<ExecEngine>,
 }
 
 /// Compile `module` and register every kernel with the engine. Returns the
@@ -65,15 +303,29 @@ pub fn install(
     engine: &mut dpcons_sim::Engine,
     module: &Module,
 ) -> Result<HashMap<String, KernelId>, IrError> {
+    install_with_engine(engine, module, None)
+}
+
+/// Like [`install`], but pins every kernel of this module to one executor
+/// regardless of `DPCONS_INTERP` or the process-wide override. Tests use this
+/// to run both executors side by side without global state.
+pub fn install_with_engine(
+    engine: &mut dpcons_sim::Engine,
+    module: &Module,
+    exec: Option<ExecEngine>,
+) -> Result<HashMap<String, KernelId>, IrError> {
     let cm = Arc::new(compile_module(module)?);
+    let bc = Arc::new(lower_module(&cm));
     let ids: Arc<OnceLock<Vec<KernelId>>> = Arc::new(OnceLock::new());
     let mut map = HashMap::new();
     let mut vec_ids = Vec::with_capacity(cm.kernels.len());
     for i in 0..cm.kernels.len() {
         let id = engine.register(Arc::new(IrKernelBody {
             module: Arc::clone(&cm),
+            bytecode: Arc::clone(&bc),
             idx: i,
             ids: Arc::clone(&ids),
+            engine: exec,
         }));
         map.insert(cm.kernels[i].name.clone(), id);
         vec_ids.push(id);
@@ -111,47 +363,63 @@ impl KernelBody for IrKernelBody {
             kernel: k.name.clone(),
             message: "module not fully installed before launch".to_string(),
         })?;
-        let warps = ctx.block_dim.div_ceil(ctx.warp_size);
-        let mut block_allocs: HashMap<u32, (i64, i64)> = HashMap::new();
-        let mut traces: Vec<Vec<Chunk>> = Vec::with_capacity(warps as usize);
-        for w in 0..warps {
-            let nlanes = (ctx.block_dim - w * ctx.warp_size).min(ctx.warp_size);
-            let mut exec = WarpExec {
-                ctx,
-                k,
-                module: &self.module,
-                ids,
-                warp: w,
-                env: vec![[0i64; 32]; k.n_slots as usize],
-                chunks: Vec::new(),
-                cur: Chunk::default(),
-                returned: 0,
-                iters: 0,
-                block_allocs: &mut block_allocs,
-                scratch: Vec::with_capacity(32),
-            };
-            let mask = if nlanes >= 32 { u32::MAX } else { (1u32 << nlanes) - 1 };
-            exec.exec_block_body(mask)?;
-            traces.push(exec.finish());
+        match self.engine.unwrap_or_else(engine_choice) {
+            ExecEngine::Bytecode => {
+                crate::bytecode::run_block(k, &self.bytecode[self.idx], ids, ctx)
+            }
+            ExecEngine::Tree => run_block_tree(k, ids, ctx),
         }
-        assemble_block(k, ctx, traces)
     }
 }
 
 // ------------------------------------------------------------------------
-// Warp execution.
+// Tree-walking executor (reference oracle).
 // ------------------------------------------------------------------------
+
+fn run_block_tree(
+    k: &CKernel,
+    ids: &[KernelId],
+    ctx: &mut BlockCtx<'_>,
+) -> Result<BlockResult, SimError> {
+    let warps = ctx.block_dim.div_ceil(ctx.warp_size);
+    let mut block_allocs: HashMap<u32, (i64, i64)> = HashMap::new();
+    let mut arena: Vec<LaunchSpec> = Vec::new();
+    let mut traces: Vec<Vec<Chunk>> = Vec::with_capacity(warps as usize);
+    for w in 0..warps {
+        let nlanes = (ctx.block_dim - w * ctx.warp_size).min(ctx.warp_size);
+        let mut exec = WarpExec {
+            ctx,
+            k,
+            ids,
+            warp: w,
+            env: vec![[0i64; 32]; k.n_slots as usize],
+            chunks: Vec::new(),
+            cur: Chunk::default(),
+            chunk_launch_start: arena.len() as u32,
+            arena: &mut arena,
+            returned: 0,
+            iters: 0,
+            block_allocs: &mut block_allocs,
+            scratch: Vec::with_capacity(32),
+        };
+        let mask = if nlanes >= 32 { u32::MAX } else { (1u32 << nlanes) - 1 };
+        exec.exec_block_body(mask)?;
+        traces.push(exec.finish());
+    }
+    assemble_block(k, ctx, &traces, &arena)
+}
 
 struct WarpExec<'a, 'b, 'c> {
     ctx: &'a mut BlockCtx<'b>,
     k: &'a CKernel,
-    #[allow(dead_code)]
-    module: &'a CModule,
     ids: &'a [KernelId],
     warp: u32,
     env: Vec<Lanes>,
     chunks: Vec<Chunk>,
     cur: Chunk,
+    /// Arena index where the current chunk's launches began.
+    chunk_launch_start: u32,
+    arena: &'c mut Vec<LaunchSpec>,
     /// Lanes that executed `Return`.
     returned: u32,
     iters: u64,
@@ -165,13 +433,14 @@ impl WarpExec<'_, '_, '_> {
     }
 
     fn finish(mut self) -> Vec<Chunk> {
-        self.cur.boundary = Some(Boundary::End);
-        self.chunks.push(std::mem::take(&mut self.cur));
+        self.cut(Boundary::End);
         self.chunks
     }
 
     fn cut(&mut self, b: Boundary) {
-        self.cur.boundary = Some(b);
+        self.cur.boundary = b;
+        self.cur.launches = (self.chunk_launch_start, self.arena.len() as u32);
+        self.chunk_launch_start = self.arena.len() as u32;
         self.chunks.push(std::mem::take(&mut self.cur));
     }
 
@@ -375,11 +644,11 @@ impl WarpExec<'_, '_, '_> {
                 // divergence penalty of per-thread nested launches.
                 for l in 0..32 {
                     if mask & (1 << l) != 0 {
-                        let grid_l = u32::try_from(g[l].max(0)).unwrap_or(0);
-                        let block_l = u32::try_from(b[l].max(0)).unwrap_or(0);
+                        let grid_l = launch_dim(&self.k.name, "grid", l, g[l])?;
+                        let block_l = launch_dim(&self.k.name, "block", l, b[l])?;
                         self.cur.cycles += costs.device_launch_cycles;
                         self.cur.active += costs.device_launch_cycles;
-                        self.cur.launches.push(LaunchSpec::new(
+                        self.arena.push(LaunchSpec::new(
                             self.ids[*target],
                             grid_l,
                             block_l,
@@ -452,20 +721,13 @@ impl WarpExec<'_, '_, '_> {
         self.ctx.fuel.spend(1)?;
         self.iters += 1;
         if self.iters > MAX_WARP_ITERATIONS {
-            return Err(self.fault("warp exceeded the loop-iteration safety limit"));
+            return Err(self.fault(WARP_ITER_LIMIT_MSG));
         }
         Ok(())
     }
 
     fn resolve_addr(&self, handle: i64, index: i64) -> Result<(usize, usize), SimError> {
-        let a = self.ctx.mem.handle_from_value(handle)?;
-        let i = usize::try_from(index).map_err(|_| SimError::OutOfBounds {
-            array: self.ctx.mem.label(a).unwrap_or("?").to_string(),
-            handle,
-            index,
-            len: self.ctx.mem.len(a).unwrap_or(0),
-        })?;
-        Ok((a, i))
+        resolve_addr(self.ctx.mem, handle, index)
     }
 
     /// Charge the warp-wide cost of one memory access group: coalesce into
@@ -473,24 +735,16 @@ impl WarpExec<'_, '_, '_> {
     /// only for segments this block has not already fetched (block-scope
     /// cache reuse).
     fn mem_group_cost(&mut self, h: &Lanes, idx: &Lanes, mask: u32) -> Result<(), SimError> {
-        self.scratch.clear();
+        let mut addrs = std::mem::take(&mut self.scratch);
+        addrs.clear();
         for l in 0..32 {
             if mask & (1 << l) != 0 {
                 let (a, i) = self.resolve_addr(h[l], idx[l])?;
-                self.scratch.push(self.ctx.mem.global_addr(a, i)?);
+                addrs.push(self.ctx.mem.global_addr(a, i)?);
             }
         }
-        let mut addrs = std::mem::take(&mut self.scratch);
-        let tx = coalesced_transactions(&mut addrs, self.ctx.cost.segment_words);
-        let mut new_tx = 0u64;
-        for &seg in addrs.iter() {
-            if self.ctx.touched_segments.insert(seg) {
-                new_tx += 1;
-            }
-        }
+        let (cycles, new_tx) = charge_group_from_addrs(self.ctx, &mut addrs);
         self.scratch = addrs;
-        let c = self.ctx.cost;
-        let cycles = c.mem_base_cycles + tx * c.mem_cycles_per_transaction;
         self.cur.dram += new_tx;
         self.charge(cycles, mask);
         Ok(())
@@ -571,58 +825,26 @@ impl WarpExec<'_, '_, '_> {
                 let bv = self.eval(b, mask)?;
                 for l in 0..32 {
                     if mask & (1 << l) != 0 {
-                        out[l] = self.binop(*op, av[l], bv[l])?;
+                        out[l] =
+                            scalar_binop(*op, av[l], bv[l]).map_err(|f| self.fault(f.message()))?;
                     }
                 }
             }
         }
         Ok(out)
     }
-
-    fn binop(&self, op: BinOp, a: i64, b: i64) -> Result<i64, SimError> {
-        Ok(match op {
-            BinOp::Add => a.wrapping_add(b),
-            BinOp::Sub => a.wrapping_sub(b),
-            BinOp::Mul => a.wrapping_mul(b),
-            BinOp::Div => {
-                if b == 0 {
-                    return Err(self.fault("division by zero"));
-                }
-                a.wrapping_div(b)
-            }
-            BinOp::Rem => {
-                if b == 0 {
-                    return Err(self.fault("remainder by zero"));
-                }
-                a.wrapping_rem(b)
-            }
-            BinOp::Min => a.min(b),
-            BinOp::Max => a.max(b),
-            BinOp::And => a & b,
-            BinOp::Or => a | b,
-            BinOp::Xor => a ^ b,
-            BinOp::Shl => a.wrapping_shl(b.rem_euclid(64) as u32),
-            BinOp::Shr => a.wrapping_shr(b.rem_euclid(64) as u32),
-            BinOp::Eq => (a == b) as i64,
-            BinOp::Ne => (a != b) as i64,
-            BinOp::Lt => (a < b) as i64,
-            BinOp::Le => (a <= b) as i64,
-            BinOp::Gt => (a > b) as i64,
-            BinOp::Ge => (a >= b) as i64,
-            BinOp::LAnd => (a != 0 && b != 0) as i64,
-            BinOp::LOr => (a != 0 || b != 0) as i64,
-        })
-    }
 }
 
 // ------------------------------------------------------------------------
 // Block assembly: warp traces -> segments with phase-aware durations.
+// Shared by both executors — segment/phase assembly cannot diverge.
 // ------------------------------------------------------------------------
 
-fn assemble_block(
+pub(crate) fn assemble_block(
     k: &CKernel,
     ctx: &BlockCtx<'_>,
-    traces: Vec<Vec<Chunk>>,
+    traces: &[Vec<Chunk>],
+    arena: &[LaunchSpec],
 ) -> Result<BlockResult, SimError> {
     let warp_size = ctx.warp_size as u64;
     let sync_cost = ctx.cost.syncthreads_cycles;
@@ -633,7 +855,7 @@ fn assemble_block(
     let syncing: Vec<usize> = traces
         .iter()
         .enumerate()
-        .filter(|(_, t)| t.iter().any(|c| c.boundary == Some(Boundary::DeviceSync)))
+        .filter(|(_, t)| t.iter().any(|c| c.boundary == Boundary::DeviceSync))
         .map(|(w, _)| w)
         .collect();
     if syncing.len() > 1 {
@@ -690,7 +912,8 @@ fn assemble_block(
                 seg.active_thread_cycles += c.active;
                 seg.thread_cycles_possible += c.cycles * warp_size;
                 seg.dram_transactions += c.dram;
-                seg.launches.extend(c.launches.iter().cloned());
+                let (ls, le) = c.launches;
+                seg.launches.extend_from_slice(&arena[ls as usize..le as usize]);
             }
         }
     }
@@ -702,10 +925,9 @@ fn assemble_block(
                 + sync_cost * chunks.len().saturating_sub(1) as u64;
         }
         let last = chunks.last().expect("segments are non-empty");
-        segments[si].ends_with_device_sync = last.boundary == Some(Boundary::DeviceSync);
+        segments[si].ends_with_device_sync = last.boundary == Boundary::DeviceSync;
     }
 
-    let _ = k;
     Ok(BlockResult { segments })
 }
 
@@ -714,7 +936,7 @@ fn split_segments(trace: &[Chunk]) -> Vec<Vec<&Chunk>> {
     let mut out: Vec<Vec<&Chunk>> = vec![Vec::new()];
     for c in trace {
         out.last_mut().unwrap().push(c);
-        if c.boundary == Some(Boundary::DeviceSync) {
+        if c.boundary == Boundary::DeviceSync {
             out.push(Vec::new());
         }
     }

@@ -5,13 +5,18 @@
 //!
 //! * [`dsl`] — ergonomic AST constructors mirroring CUDA C,
 //! * [`compile`] — name resolution, scoping, launch-target validation,
-//! * [`interp`] — a warp-lockstep SIMT interpreter that executes kernels on
-//!   the `dpcons-sim` engine, producing warp-efficiency / DRAM / launch
-//!   metrics per block segment,
+//! * [`interp`] — warp-lockstep SIMT execution on the `dpcons-sim` engine
+//!   (engine selection, the tree-walking reference executor, and the shared
+//!   trace assembly), producing warp-efficiency / DRAM / launch metrics per
+//!   block segment,
+//! * [`bytecode`] — the flat bytecode lowering + VM that serves as the
+//!   default functional executor (`DPCONS_INTERP=tree` restores the tree
+//!   walker),
 //! * [`printer`] — CUDA-flavoured source emission (the compiler is
 //!   source-to-source in the paper; golden tests pin the generated code).
 
 pub mod ast;
+pub mod bytecode;
 pub mod compile;
 pub mod dsl;
 pub mod interp;
@@ -21,8 +26,12 @@ pub use ast::{
     expr_refs, stmt_exprs, visit_expr, visit_stmts, AllocScope, AtomicOp, BinOp, Expr, Kernel,
     Module, Param, ParamKind, Stmt, UnOp,
 };
+pub use bytecode::{lower_kernel, lower_module, ByteKernel};
 pub use compile::{compile_kernel, compile_module, CExpr, CKernel, CModule, CStmt, IrError};
-pub use interp::{install, IrKernelBody};
+pub use interp::{
+    engine_choice, engine_override, install, install_with_engine, set_engine_override, ExecEngine,
+    IrKernelBody,
+};
 pub use printer::{expr_to_string, kernel_to_string, module_to_string};
 
 #[cfg(test)]

@@ -1,18 +1,22 @@
 //! Differential testing of the SIMT interpreter: random expression trees and
-//! random straight-line programs are executed on the simulator and compared
-//! lane-by-lane against a direct host-side evaluator.
+//! random straight-line programs are executed on the simulator — through
+//! **both** functional executors (the bytecode VM and the legacy tree
+//! walker, pinned per-install) — and compared lane-by-lane against a direct
+//! host-side evaluator.
 //!
 //! The offline build has no `proptest`, so case generation is a hand-rolled
 //! deterministic sweep over a seeded `Rng64` stream; failures name the
-//! case index so a run is reproducible.
+//! case index and executor so a run is reproducible.
 
 use dpcons_ir::ast::{BinOp, Expr, UnOp};
 use dpcons_ir::dsl::*;
-use dpcons_ir::{install, Module};
+use dpcons_ir::{install_with_engine, ExecEngine, Module};
 use dpcons_sim::{AllocKind, Engine, GpuConfig, LaunchSpec};
 use dpcons_workloads::rng::Rng64;
 
-const BINOPS: [BinOp; 16] = [
+const ENGINES: [ExecEngine; 2] = [ExecEngine::Bytecode, ExecEngine::Tree];
+
+const BINOPS: [BinOp; 18] = [
     BinOp::Add,
     BinOp::Sub,
     BinOp::Mul,
@@ -21,6 +25,8 @@ const BINOPS: [BinOp; 16] = [
     BinOp::And,
     BinOp::Or,
     BinOp::Xor,
+    BinOp::Shl,
+    BinOp::Shr,
     BinOp::Eq,
     BinOp::Ne,
     BinOp::Lt,
@@ -87,6 +93,22 @@ fn eval_host(e: &Expr, tid: i64, ntid: i64, cta: i64, s0: i64, s1: i64) -> i64 {
                 BinOp::And => x & y,
                 BinOp::Or => x | y,
                 BinOp::Xor => x ^ y,
+                // Total shift semantics: amounts outside 0..=63 yield 0
+                // (never wrap mod 64); see `dpcons_ir::dsl::shl`.
+                BinOp::Shl => {
+                    if (0..64).contains(&y) {
+                        x.wrapping_shl(y as u32)
+                    } else {
+                        0
+                    }
+                }
+                BinOp::Shr => {
+                    if (0..64).contains(&y) {
+                        x.wrapping_shr(y as u32)
+                    } else {
+                        0
+                    }
+                }
                 BinOp::Eq => (x == y) as i64,
                 BinOp::Ne => (x != y) as i64,
                 BinOp::Lt => (x < y) as i64,
@@ -115,16 +137,18 @@ fn expressions_match_host_oracle() {
             tid(),
             e.clone(),
         )]));
-        let mut eng = Engine::new(GpuConfig::tiny(), AllocKind::PreAlloc, 1 << 12);
-        let out = eng.mem.alloc_array("out", 64);
-        let ids = install(&mut eng, &m).unwrap();
-        eng.launch(LaunchSpec::new(ids["k"], 2, 32, vec![out as i64, s0, s1])).unwrap();
-        let got = eng.mem.slice(out).unwrap();
-        // Two blocks write the same tid slots; block 1 (executed last) wins,
-        // so compare against cta = 1 for all lanes.
-        for lane in 0..32 {
-            let want = eval_host(&e, lane, 32, 1, s0, s1);
-            assert_eq!(got[lane as usize], want, "case {case}, lane {lane} of {e:?}");
+        for exec in ENGINES {
+            let mut eng = Engine::new(GpuConfig::tiny(), AllocKind::PreAlloc, 1 << 12);
+            let out = eng.mem.alloc_array("out", 64);
+            let ids = install_with_engine(&mut eng, &m, Some(exec)).unwrap();
+            eng.launch(LaunchSpec::new(ids["k"], 2, 32, vec![out as i64, s0, s1])).unwrap();
+            let got = eng.mem.slice(out).unwrap();
+            // Two blocks write the same tid slots; block 1 (executed last)
+            // wins, so compare against cta = 1 for all lanes.
+            for lane in 0..32 {
+                let want = eval_host(&e, lane, 32, 1, s0, s1);
+                assert_eq!(got[lane as usize], want, "case {case}, lane {lane}, {exec:?} of {e:?}");
+            }
         }
     }
 }
@@ -150,21 +174,23 @@ fn divergent_loops_match_host_oracle() {
             ),
             store(v("out"), tid(), v("acc")),
         ]));
-        let mut eng = Engine::new(GpuConfig::tiny(), AllocKind::PreAlloc, 1 << 12);
-        let trips_h = eng.mem.alloc_array_init("trips", trips.clone());
-        let out = eng.mem.alloc_array("out", 32);
-        let ids = install(&mut eng, &m).unwrap();
-        eng.launch(LaunchSpec::new(ids["k"], 1, 32, vec![trips_h as i64, out as i64, step]))
-            .unwrap();
-        let got = eng.mem.slice(out).unwrap();
-        for lane in 0..32 {
-            let mut acc = 0i64;
-            let mut j = 0i64;
-            while j < trips[lane] {
-                acc += j + 1;
-                j += step;
+        for exec in ENGINES {
+            let mut eng = Engine::new(GpuConfig::tiny(), AllocKind::PreAlloc, 1 << 12);
+            let trips_h = eng.mem.alloc_array_init("trips", trips.clone());
+            let out = eng.mem.alloc_array("out", 32);
+            let ids = install_with_engine(&mut eng, &m, Some(exec)).unwrap();
+            eng.launch(LaunchSpec::new(ids["k"], 1, 32, vec![trips_h as i64, out as i64, step]))
+                .unwrap();
+            let got = eng.mem.slice(out).unwrap();
+            for lane in 0..32 {
+                let mut acc = 0i64;
+                let mut j = 0i64;
+                while j < trips[lane] {
+                    acc += j + 1;
+                    j += step;
+                }
+                assert_eq!(got[lane], acc, "case {case}, lane {lane}, {exec:?}");
             }
-            assert_eq!(got[lane], acc, "case {case}, lane {lane}");
         }
     }
 }
@@ -182,17 +208,20 @@ fn atomic_sums_match() {
             lt(gtid(), v("n")),
             vec![atomic_add(None, v("sum"), i(0), load(v("vals"), gtid()))],
         )]));
-        let mut eng = Engine::new(GpuConfig::tiny(), AllocKind::PreAlloc, 1 << 12);
-        let vals = eng.mem.alloc_array_init("vals", adds.clone());
-        let sum = eng.mem.alloc_array("sum", 1);
-        let ids = install(&mut eng, &m).unwrap();
-        eng.launch(LaunchSpec::new(
-            ids["k"],
-            (n as u32).div_ceil(32),
-            32,
-            vec![vals as i64, sum as i64, n as i64],
-        ))
-        .unwrap();
-        assert_eq!(eng.mem.read(sum, 0).unwrap(), adds.iter().sum::<i64>(), "case {case}");
+        for exec in ENGINES {
+            let mut eng = Engine::new(GpuConfig::tiny(), AllocKind::PreAlloc, 1 << 12);
+            let vals = eng.mem.alloc_array_init("vals", adds.clone());
+            let sum = eng.mem.alloc_array("sum", 1);
+            let ids = install_with_engine(&mut eng, &m, Some(exec)).unwrap();
+            eng.launch(LaunchSpec::new(
+                ids["k"],
+                (n as u32).div_ceil(32),
+                32,
+                vec![vals as i64, sum as i64, n as i64],
+            ))
+            .unwrap();
+            let want = adds.iter().sum::<i64>();
+            assert_eq!(eng.mem.read(sum, 0).unwrap(), want, "case {case}, {exec:?}");
+        }
     }
 }

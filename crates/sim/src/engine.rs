@@ -53,7 +53,7 @@ pub fn functional_execs_total() -> u64 {
 }
 
 /// One kernel execution captured by the functional phase.
-#[derive(Debug)]
+#[derive(Debug, PartialEq)]
 pub struct ExecRecord {
     pub spec: LaunchSpec,
     pub depth: u32,
@@ -193,6 +193,10 @@ impl Engine {
         let mut queue: VecDeque<(LaunchSpec, u32, Option<(usize, u32, usize)>)> = VecDeque::new();
         queue.push_back((root, 0, None));
 
+        // One scratch set reused across every block of every kernel in the
+        // DAG: the per-block coalescing bookkeeping clears it but keeps the
+        // allocated capacity, so the hot functional loop stops reallocating.
+        let mut touched = crate::kernel::SegSet::default();
         while let Some((spec, depth, parent)) = queue.pop_front() {
             if records.len() >= self.max_kernel_execs {
                 return Err(SimError::KernelExecLimit { limit: self.max_kernel_execs });
@@ -203,7 +207,7 @@ impl Engine {
             let mut blocks = Vec::with_capacity(spec.grid as usize);
             for b in 0..spec.grid {
                 self.fuel.spend(1)?;
-                let mut touched = std::collections::HashSet::new();
+                touched.clear();
                 let mut ctx = BlockCtx {
                     block_id: b,
                     grid_dim: spec.grid,

@@ -42,7 +42,7 @@ impl LaunchSpec {
 
 /// Metrics for one segment of one block (between `cudaDeviceSynchronize`
 /// boundaries), produced by the functional phase.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SegmentResult {
     /// Block-level duration in cycles: per-`__syncthreads`-phase maximum over
     /// the block's warps, summed over phases.
@@ -65,7 +65,7 @@ pub struct SegmentResult {
 }
 
 /// Functional result of one block: one or more segments.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct BlockResult {
     pub segments: Vec<SegmentResult>,
 }
@@ -141,6 +141,35 @@ impl Default for FuelMeter {
     }
 }
 
+/// Deterministic single-round hasher for segment-id sets. Segment ids enter
+/// the set once per warp memory access — the functional phase's hottest
+/// non-interpreter path — so one splitmix64 finalizer round replaces the
+/// default SipHash. Only `u64` keys are supported.
+#[derive(Clone, Copy, Default)]
+pub struct SegIdHasher(u64);
+
+impl std::hash::Hasher for SegIdHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("SegIdHasher only hashes u64 segment ids")
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        let mut x = v.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        self.0 = x ^ (x >> 31);
+    }
+}
+
+/// Segment-id set keyed by [`SegIdHasher`].
+pub type SegSet = HashSet<u64, std::hash::BuildHasherDefault<SegIdHasher>>;
+
 /// Execution context handed to [`KernelBody::run_block`].
 pub struct BlockCtx<'a> {
     pub block_id: u32,
@@ -156,7 +185,7 @@ pub struct BlockCtx<'a> {
     /// Coalescing segments already fetched by this block: re-accesses hit
     /// cache instead of DRAM. Larger (consolidated) blocks reuse more —
     /// the caching effect Section V.D credits for the DRAM reduction.
-    pub touched_segments: &'a mut HashSet<u64>,
+    pub touched_segments: &'a mut SegSet,
     /// Shared functional step budget ([`crate::engine::Engine::fuel`]); kernel
     /// bodies charge loop iterations against it so runaway candidates fault
     /// deterministically instead of spinning.

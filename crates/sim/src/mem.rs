@@ -160,6 +160,32 @@ impl GlobalMem {
         Ok(old)
     }
 
+    /// Base global address and length of one array in a single lookup: the
+    /// warp-uniform-handle fast path resolves these once per access group
+    /// instead of re-deriving them per lane.
+    #[inline]
+    pub fn base_len(&self, id: ArrayId) -> Result<(u64, usize), SimError> {
+        let a = self.array(id)?;
+        Ok((a.base, a.data.len()))
+    }
+
+    /// Direct read of a location already validated through
+    /// [`Self::global_addr`]: the bytecode VM resolves every lane's
+    /// `(array, index)` pair once while accounting coalescing cost and
+    /// reuses the pair here, skipping a second handle/bounds `Result`
+    /// round-trip per lane. Panics on an unvalidated pair — callers uphold
+    /// validation by construction.
+    #[inline]
+    pub fn read_validated(&self, id: ArrayId, idx: usize) -> i64 {
+        self.arrays[id].data[idx]
+    }
+
+    /// Direct write counterpart of [`Self::read_validated`].
+    #[inline]
+    pub fn write_validated(&mut self, id: ArrayId, idx: usize, v: i64) {
+        self.arrays[id].data[idx] = v;
+    }
+
     /// Borrow an array's contents (host-side readback).
     pub fn slice(&self, id: ArrayId) -> Result<&[i64], SimError> {
         Ok(&self.array(id)?.data)
@@ -199,8 +225,28 @@ pub fn coalesced_transactions(addrs: &mut Vec<u64>, segment_words: u64) -> u64 {
         return 0;
     }
     let seg = segment_words.max(1);
-    for a in addrs.iter_mut() {
-        *a /= seg;
+    if seg.is_power_of_two() {
+        // Segment sizes are powers of two on every real device; a shift
+        // avoids one hardware division per lane per access group.
+        let sh = seg.trailing_zeros();
+        for a in addrs.iter_mut() {
+            *a >>= sh;
+        }
+    } else {
+        for a in addrs.iter_mut() {
+            *a /= seg;
+        }
+    }
+    // Fast path: a fully-coalesced access (every lane in one segment) is the
+    // common case for tid-indexed loops and skips the sort entirely.
+    if addrs.iter().all(|&a| a == addrs[0]) {
+        addrs.truncate(1);
+        return 1;
+    }
+    // Strided tid-indexed groups arrive already sorted: dedup in one pass.
+    if addrs.windows(2).all(|w| w[0] <= w[1]) {
+        addrs.dedup();
+        return addrs.len() as u64;
     }
     addrs.sort_unstable();
     addrs.dedup();

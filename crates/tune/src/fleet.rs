@@ -610,24 +610,36 @@ fn fleet_attempt(
         Ok(out) => match out.captures.as_ref() {
             None => FleetStatus::Failed("capture was requested but none was recorded".to_string()),
             Some(caps) => {
-                let cells = fleet
-                    .iter()
-                    .enumerate()
-                    .map(|(di, d)| {
-                        // The capture run's own report *is* the replay on
-                        // fleet[0] (pinned bit-exact by
-                        // replay_differential.rs), so only the other devices
-                        // need a fresh replay.
-                        let r = if di == 0 { out.report.clone() } else { caps.replay_on(d) };
-                        DeviceCell {
-                            cycles: r.total_cycles,
-                            dram_transactions: r.dram_transactions,
-                            warp_exec_efficiency: r.warp_exec_efficiency,
-                            achieved_occupancy: r.achieved_occupancy,
+                // The capture run's own report *is* the replay on fleet[0]
+                // (pinned bit-exact by replay_differential.rs), so only the
+                // other devices need a fresh replay. Replays are pure over
+                // `&CaptureSet`, so the remaining devices are re-timed in
+                // parallel; a panicking replay poisons only this candidate.
+                let cell_of = |r: &dpcons_sim::ProfileReport| DeviceCell {
+                    cycles: r.total_cycles,
+                    dram_transactions: r.dram_transactions,
+                    warp_exec_efficiency: r.warp_exec_efficiency,
+                    achieved_occupancy: r.achieved_occupancy,
+                };
+                let jobs: Vec<_> =
+                    fleet[1..].iter().map(|d| move || cell_of(&caps.replay_on(d))).collect();
+                let mut cells = Vec::with_capacity(fleet.len());
+                cells.push(cell_of(&out.report));
+                let mut panicked = None;
+                for r in parallel_map_robust(jobs) {
+                    match r {
+                        Ok(cell) => cells.push(cell),
+                        Err(msg) => {
+                            dpcons_obs::counter("tune.replay.panicked").inc();
+                            panicked = Some(msg);
+                            break;
                         }
-                    })
-                    .collect();
-                FleetStatus::Retimed(cells)
+                    }
+                }
+                match panicked {
+                    Some(msg) => FleetStatus::Panicked(format!("timing replay panicked: {msg}")),
+                    None => FleetStatus::Retimed(cells),
+                }
             }
         },
     };
