@@ -60,11 +60,14 @@ use std::time::Instant;
 
 use dpcons_apps::{Profile, RunConfig};
 use dpcons_bench::*;
+use dpcons_serve::ErrorClass;
 use dpcons_sim::parse_fleet;
 
 /// Print a usage error to stderr and exit with the conventional CLI-misuse
-/// status. Every malformed-invocation path funnels through here so the exit
-/// status and message shape stay uniform.
+/// status. Every malformed-invocation path funnels through here, and the
+/// status itself comes from the shared [`ErrorClass`] taxonomy — the same
+/// mapping `dpcons-serve` derives its HTTP statuses from, so the CLI and the
+/// daemon cannot drift on what a caller error is.
 fn usage_err(msg: &str) -> ! {
     eprintln!("reproduce: {msg}");
     eprintln!(
@@ -72,7 +75,7 @@ fn usage_err(msg: &str) -> ! {
          [--engine bytecode|tree] [--markdown] [--json PATH] [--tune] [--fleet] \
          [--devices a,b,c] [--trace PATH] [--metrics] [--quiet] [--strict]"
     );
-    std::process::exit(2);
+    std::process::exit(ErrorClass::Usage.exit_code());
 }
 
 fn main() {
@@ -200,7 +203,7 @@ fn main() {
                     println!("verify: all 7 benchmarks x 5 variants match the CPU oracle\n");
                 } else {
                     eprintln!("VERIFICATION FAILURES:\n{}", failures.join("\n"));
-                    std::process::exit(1);
+                    std::process::exit(ErrorClass::Internal.exit_code());
                 }
             }
             "fig5" => emit(&fig5_allocators(profile, &cfg)),
@@ -284,9 +287,9 @@ fn main() {
         if faults > 0 {
             if strict {
                 eprintln!("reproduce: --strict and {faults} candidate(s) faulted");
-                std::process::exit(1);
+                std::process::exit(ErrorClass::Internal.exit_code());
             }
-            std::process::exit(3);
+            std::process::exit(ErrorClass::Faulted.exit_code());
         }
     }
 }

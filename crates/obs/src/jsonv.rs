@@ -55,6 +55,73 @@ impl Value {
     pub fn get(&self, key: &str) -> Option<&Value> {
         self.as_obj().and_then(|o| o.get(key))
     }
+
+    /// Render this value as a compact JSON document. Deterministic: object
+    /// keys come out in `BTreeMap` order, numbers that are exact integers in
+    /// the `i64` range print without a fraction, and everything produced
+    /// round-trips through [`parse`].
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Num(n) => {
+                // NaN/inf have no JSON spelling; emit null rather than a
+                // document our own parser would reject.
+                if !n.is_finite() {
+                    out.push_str("null");
+                } else if n.fract() == 0.0 && n.abs() < 9.2e18 {
+                    out.push_str(&format!("{}", *n as i64));
+                } else {
+                    out.push_str(&format!("{n}"));
+                }
+            }
+            Value::Str(s) => render_str(s, out),
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.render_into(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_str(k, out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn render_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 /// Parse a complete JSON document; trailing non-whitespace is an error.
@@ -275,5 +342,32 @@ mod tests {
     fn empty_containers() {
         assert_eq!(parse("[]").unwrap(), Value::Arr(vec![]));
         assert_eq!(parse("{}").unwrap(), Value::Obj(BTreeMap::new()));
+    }
+
+    #[test]
+    fn render_round_trips_through_parse() {
+        let docs = [
+            r#"{"a":[1,2.5,-3],"b":{"c":"hi\n","d":true,"e":null}}"#,
+            r#"{"empty_arr":[],"empty_obj":{},"s":"quote \" backslash \\ tab \t"}"#,
+            r#"[0,-1,9007199254740991,0.125]"#,
+            r#""é café ü""#,
+        ];
+        for doc in docs {
+            let v = parse(doc).unwrap();
+            let emitted = v.render();
+            assert_eq!(parse(&emitted).unwrap(), v, "round-trip failed for {doc}");
+        }
+    }
+
+    #[test]
+    fn render_is_deterministic_and_integers_stay_integral() {
+        let mut obj = BTreeMap::new();
+        obj.insert("z".to_string(), Value::Num(3.0));
+        obj.insert("a".to_string(), Value::Num(1.5));
+        obj.insert("ctl".to_string(), Value::Str("bell\u{7}".to_string()));
+        let v = Value::Obj(obj);
+        assert_eq!(v.render(), r#"{"a":1.5,"ctl":"bell\u0007","z":3}"#);
+        assert_eq!(v.render(), v.render());
+        assert_eq!(Value::Num(f64::NAN).render(), "null");
     }
 }

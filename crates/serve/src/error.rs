@@ -1,0 +1,181 @@
+//! The one shared error taxonomy for every dpcons front end.
+//!
+//! The `reproduce` CLI and the `dpcons-serve` daemon expose the same sweep
+//! substrate through different transports, so they must agree on what each
+//! failure *is*: a malformed request, an infeasible-but-well-formed one, a
+//! sweep that completed degraded, or a bug. [`ErrorClass`] is that agreement,
+//! and both the process exit code and the HTTP status are derived from it in
+//! exactly one place — they cannot drift apart.
+
+use std::fmt;
+
+/// The classes of failure a dpcons front end can report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// The request itself is unreadable: bad flags, malformed JSON, a body
+    /// that is not the documented shape.
+    Usage,
+    /// Well-formed but unsatisfiable: unknown app or device, an empty knob
+    /// space, a zero budget.
+    Invalid,
+    /// Well-formed but asks for more than the server is willing to spend
+    /// (budget caps are clamped or rejected server-side).
+    OverBudget,
+    /// The named resource (e.g. a job id) does not exist.
+    NotFound,
+    /// The sweep ran but degraded: faulted candidates, no feasible winner.
+    /// HTTP transports report this inside the job body, not as a transport
+    /// status; processes exit 3 (the `reproduce` fault convention).
+    Faulted,
+    /// A bug or environment failure on our side.
+    Internal,
+    /// The server is draining and no longer admits new work.
+    Unavailable,
+}
+
+impl ErrorClass {
+    /// Stable machine-readable code used in JSON error bodies.
+    pub fn code(self) -> &'static str {
+        match self {
+            ErrorClass::Usage => "bad_request",
+            ErrorClass::Invalid => "invalid",
+            ErrorClass::OverBudget => "over_budget",
+            ErrorClass::NotFound => "not_found",
+            ErrorClass::Faulted => "faulted",
+            ErrorClass::Internal => "internal",
+            ErrorClass::Unavailable => "unavailable",
+        }
+    }
+
+    /// Inverse of [`ErrorClass::code`], for clients decoding error bodies.
+    pub fn from_code(code: &str) -> Option<ErrorClass> {
+        match code {
+            "bad_request" => Some(ErrorClass::Usage),
+            "invalid" => Some(ErrorClass::Invalid),
+            "over_budget" => Some(ErrorClass::OverBudget),
+            "not_found" => Some(ErrorClass::NotFound),
+            "faulted" => Some(ErrorClass::Faulted),
+            "internal" => Some(ErrorClass::Internal),
+            "unavailable" => Some(ErrorClass::Unavailable),
+            _ => None,
+        }
+    }
+
+    /// HTTP status line for this class.
+    pub fn http_status(self) -> (u16, &'static str) {
+        match self {
+            ErrorClass::Usage => (400, "Bad Request"),
+            ErrorClass::Invalid => (422, "Unprocessable Entity"),
+            ErrorClass::OverBudget => (422, "Unprocessable Entity"),
+            ErrorClass::NotFound => (404, "Not Found"),
+            // A faulted *job* is reported inside a 200 job view; this status
+            // only appears if a faulted error is returned as a response.
+            ErrorClass::Faulted => (500, "Internal Server Error"),
+            ErrorClass::Internal => (500, "Internal Server Error"),
+            ErrorClass::Unavailable => (503, "Service Unavailable"),
+        }
+    }
+
+    /// Process exit code for this class, matching the `reproduce` CLI
+    /// convention: 2 = the caller's request was bad, 3 = the sweep completed
+    /// but degraded, 1 = our bug.
+    pub fn exit_code(self) -> i32 {
+        match self {
+            ErrorClass::Usage
+            | ErrorClass::Invalid
+            | ErrorClass::OverBudget
+            | ErrorClass::NotFound => 2,
+            ErrorClass::Faulted => 3,
+            ErrorClass::Internal | ErrorClass::Unavailable => 1,
+        }
+    }
+}
+
+/// A classified error with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeError {
+    pub class: ErrorClass,
+    pub message: String,
+}
+
+impl ServeError {
+    pub fn new(class: ErrorClass, message: impl Into<String>) -> ServeError {
+        ServeError { class, message: message.into() }
+    }
+
+    pub fn usage(message: impl Into<String>) -> ServeError {
+        ServeError::new(ErrorClass::Usage, message)
+    }
+
+    pub fn invalid(message: impl Into<String>) -> ServeError {
+        ServeError::new(ErrorClass::Invalid, message)
+    }
+
+    pub fn over_budget(message: impl Into<String>) -> ServeError {
+        ServeError::new(ErrorClass::OverBudget, message)
+    }
+
+    pub fn not_found(message: impl Into<String>) -> ServeError {
+        ServeError::new(ErrorClass::NotFound, message)
+    }
+
+    pub fn faulted(message: impl Into<String>) -> ServeError {
+        ServeError::new(ErrorClass::Faulted, message)
+    }
+
+    pub fn internal(message: impl Into<String>) -> ServeError {
+        ServeError::new(ErrorClass::Internal, message)
+    }
+
+    pub fn unavailable(message: impl Into<String>) -> ServeError {
+        ServeError::new(ErrorClass::Unavailable, message)
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.class.code(), self.message)
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip() {
+        for class in [
+            ErrorClass::Usage,
+            ErrorClass::Invalid,
+            ErrorClass::OverBudget,
+            ErrorClass::NotFound,
+            ErrorClass::Faulted,
+            ErrorClass::Internal,
+            ErrorClass::Unavailable,
+        ] {
+            assert_eq!(ErrorClass::from_code(class.code()), Some(class));
+        }
+        assert_eq!(ErrorClass::from_code("nope"), None);
+    }
+
+    #[test]
+    fn caller_errors_exit_2_faults_exit_3_bugs_exit_1() {
+        assert_eq!(ErrorClass::Usage.exit_code(), 2);
+        assert_eq!(ErrorClass::Invalid.exit_code(), 2);
+        assert_eq!(ErrorClass::OverBudget.exit_code(), 2);
+        assert_eq!(ErrorClass::NotFound.exit_code(), 2);
+        assert_eq!(ErrorClass::Faulted.exit_code(), 3);
+        assert_eq!(ErrorClass::Internal.exit_code(), 1);
+    }
+
+    #[test]
+    fn http_statuses_are_4xx_for_caller_errors() {
+        assert_eq!(ErrorClass::Usage.http_status().0, 400);
+        assert_eq!(ErrorClass::Invalid.http_status().0, 422);
+        assert_eq!(ErrorClass::OverBudget.http_status().0, 422);
+        assert_eq!(ErrorClass::NotFound.http_status().0, 404);
+        assert_eq!(ErrorClass::Unavailable.http_status().0, 503);
+    }
+}

@@ -1,0 +1,278 @@
+//! In-memory job registry + request-dedup table.
+//!
+//! Identity is the normalized cache key from [`crate::proto`]. The dedup
+//! table maps each key to the most recent job for it: while that job is
+//! queued, running, or done, every new submission for the key attaches to it
+//! (N clients, one sweep). A *failed* job releases its key so the next
+//! submission retries fresh. Completed jobs are kept (bounded, FIFO-evicted)
+//! so late pollers and dedup-attached clients can still read results.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Mutex;
+
+use dpcons_obs::jsonv::Value;
+use dpcons_tune::WaveProgress;
+
+use crate::error::ServeError;
+use crate::proto::JobSpec;
+
+/// Lifecycle of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    Queued,
+    Running,
+    Done,
+    Failed,
+}
+
+impl JobState {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+        }
+    }
+
+    pub fn terminal(self) -> bool {
+        matches!(self, JobState::Done | JobState::Failed)
+    }
+}
+
+struct Job {
+    spec: JobSpec,
+    state: JobState,
+    /// How many submissions share this job (1 + dedup hits).
+    clients: u64,
+    waves: Vec<WaveProgress>,
+    result: Option<Value>,
+    error: Option<ServeError>,
+}
+
+/// A point-in-time snapshot of one job, safe to render outside the lock.
+#[derive(Debug, Clone)]
+pub struct JobView {
+    pub id: u64,
+    pub spec: JobSpec,
+    pub state: JobState,
+    pub clients: u64,
+    pub waves: Vec<WaveProgress>,
+    pub result: Option<Value>,
+    pub error: Option<ServeError>,
+}
+
+/// Outcome of a submission.
+#[derive(Debug, Clone, Copy)]
+pub struct Admission {
+    pub id: u64,
+    pub state: JobState,
+    /// True if this submission attached to an existing job instead of
+    /// creating one. Only `!deduped` admissions need a worker.
+    pub deduped: bool,
+}
+
+struct Inner {
+    next_id: u64,
+    jobs: HashMap<u64, Job>,
+    /// key -> job id, for every non-failed job still in `jobs`.
+    by_key: HashMap<u64, u64>,
+    /// Insertion order, for bounded eviction of terminal jobs.
+    order: VecDeque<u64>,
+}
+
+/// The process-wide job table. All methods are short critical sections.
+pub struct Registry {
+    inner: Mutex<Inner>,
+    /// Terminal jobs beyond this count are evicted oldest-first.
+    capacity: usize,
+}
+
+impl Registry {
+    pub fn new(capacity: usize) -> Registry {
+        Registry {
+            inner: Mutex::new(Inner {
+                next_id: 1,
+                jobs: HashMap::new(),
+                by_key: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // Workers isolate job panics with catch_unwind, so the lock is never
+        // poisoned by job code; recover rather than propagate regardless.
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Admit a request: attach to the live/done job with the same key, or
+    /// create a fresh queued job. The caller enqueues fresh jobs on a worker.
+    pub fn submit(&self, spec: JobSpec) -> Admission {
+        let mut g = self.lock();
+        if let Some(&id) = g.by_key.get(&spec.key) {
+            if let Some(job) = g.jobs.get_mut(&id) {
+                if job.state != JobState::Failed {
+                    job.clients += 1;
+                    dpcons_obs::counter("serve.deduped").inc();
+                    return Admission { id, state: job.state, deduped: true };
+                }
+            }
+        }
+        let id = g.next_id;
+        g.next_id += 1;
+        g.jobs.insert(
+            id,
+            Job {
+                spec: spec.clone(),
+                state: JobState::Queued,
+                clients: 1,
+                waves: Vec::new(),
+                result: None,
+                error: None,
+            },
+        );
+        g.by_key.insert(spec.key, id);
+        g.order.push_back(id);
+        self.evict(&mut g);
+        Admission { id, state: JobState::Queued, deduped: false }
+    }
+
+    /// Drop the oldest terminal jobs beyond capacity. Live jobs are never
+    /// evicted, so the table stays bounded only once sweeps finish — which
+    /// is also the only time their results stop being authoritative (the
+    /// tune cache has them).
+    fn evict(&self, g: &mut Inner) {
+        while g.jobs.len() > self.capacity {
+            let Some(pos) =
+                g.order.iter().position(|id| g.jobs.get(id).is_some_and(|j| j.state.terminal()))
+            else {
+                return; // nothing terminal yet; stay over-capacity briefly
+            };
+            if let Some(id) = g.order.remove(pos) {
+                if let Some(job) = g.jobs.remove(&id) {
+                    if g.by_key.get(&job.spec.key) == Some(&id) {
+                        g.by_key.remove(&job.spec.key);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Worker picked the job up.
+    pub fn start(&self, id: u64) -> Option<JobSpec> {
+        let mut g = self.lock();
+        let job = g.jobs.get_mut(&id)?;
+        job.state = JobState::Running;
+        dpcons_obs::counter("serve.jobs_running").inc();
+        Some(job.spec.clone())
+    }
+
+    /// Record one completed sweep wave.
+    pub fn push_wave(&self, id: u64, p: WaveProgress) {
+        let mut g = self.lock();
+        if let Some(job) = g.jobs.get_mut(&id) {
+            job.waves.push(p);
+        }
+    }
+
+    /// Terminal transition. A failure releases the dedup key so the next
+    /// identical request retries instead of attaching to a corpse.
+    pub fn finish(&self, id: u64, outcome: Result<Value, ServeError>) {
+        let mut g = self.lock();
+        let Some(job) = g.jobs.get_mut(&id) else { return };
+        match outcome {
+            Ok(result) => {
+                job.state = JobState::Done;
+                job.result = Some(result);
+                dpcons_obs::counter("serve.jobs_done").inc();
+            }
+            Err(err) => {
+                job.state = JobState::Failed;
+                job.error = Some(err);
+                dpcons_obs::counter("serve.jobs_failed").inc();
+                let key = job.spec.key;
+                if g.by_key.get(&key) == Some(&id) {
+                    g.by_key.remove(&key);
+                }
+            }
+        }
+    }
+
+    /// Snapshot a job for rendering.
+    pub fn view(&self, id: u64) -> Option<JobView> {
+        let g = self.lock();
+        let job = g.jobs.get(&id)?;
+        Some(JobView {
+            id,
+            spec: job.spec.clone(),
+            state: job.state,
+            clients: job.clients,
+            waves: job.waves.clone(),
+            result: job.result.clone(),
+            error: job.error.clone(),
+        })
+    }
+
+    /// True once every job is terminal (used by drain).
+    pub fn idle(&self) -> bool {
+        let g = self.lock();
+        g.jobs.values().all(|j| j.state.terminal())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::{parse_request, JobKind, Limits};
+
+    fn spec(body: &str) -> JobSpec {
+        parse_request(JobKind::Tune, body, &Limits::default()).unwrap()
+    }
+
+    #[test]
+    fn identical_submissions_share_one_job_until_failure() {
+        let reg = Registry::new(64);
+        let s = spec(r#"{"app":"TH","device":"k20c"}"#);
+        let a = reg.submit(s.clone());
+        let b = reg.submit(s.clone());
+        assert!(!a.deduped);
+        assert!(b.deduped);
+        assert_eq!(a.id, b.id);
+        assert_eq!(reg.view(a.id).unwrap().clients, 2);
+
+        // Done jobs still dedup (instant answers)...
+        reg.finish(a.id, Ok(Value::Null));
+        let c = reg.submit(s.clone());
+        assert!(c.deduped);
+        assert_eq!(c.id, a.id);
+        assert_eq!(c.state, JobState::Done);
+
+        // ...but a failed job releases the key.
+        let other = reg.submit(spec(r#"{"app":"TD","device":"k20c"}"#));
+        assert!(!other.deduped);
+        reg.finish(other.id, Err(ServeError::faulted("boom")));
+        let retry = reg.submit(spec(r#"{"app":"TD","device":"k20c"}"#));
+        assert!(!retry.deduped, "failure must not poison the key");
+        assert_ne!(retry.id, other.id);
+    }
+
+    #[test]
+    fn eviction_drops_only_terminal_jobs_and_releases_keys() {
+        let reg = Registry::new(2);
+        let live = reg.submit(spec(r#"{"app":"TH","device":"k20c"}"#));
+        let d1 = reg.submit(spec(r#"{"app":"TD","device":"k20c"}"#));
+        reg.finish(d1.id, Ok(Value::Null));
+        let d2 = reg.submit(spec(r#"{"app":"SSSP","device":"k20c"}"#));
+        reg.finish(d2.id, Ok(Value::Null));
+        // Capacity 2 with 3 jobs: the oldest terminal one (d1) is evicted.
+        let d3 = reg.submit(spec(r#"{"app":"SpMV","device":"k20c"}"#));
+        assert!(reg.view(d1.id).is_none(), "oldest done job evicted");
+        assert!(reg.view(live.id).is_some(), "live job never evicted");
+        assert!(reg.view(d3.id).is_some());
+        // The evicted key is free again: resubmitting creates a fresh job.
+        let again = reg.submit(spec(r#"{"app":"TD","device":"k20c"}"#));
+        assert!(!again.deduped);
+    }
+}

@@ -1,0 +1,280 @@
+//! Sharded worker pool.
+//!
+//! Jobs are routed to a shard by `key % shards`, so two jobs with the same
+//! key can never run concurrently on different workers — the dedup table
+//! makes that unlikely, and sharding makes it structurally impossible (the
+//! property that keeps "exactly one sweep per key" true even across a
+//! fail-then-retry race). Each shard is one worker thread over a
+//! `Mutex<VecDeque>` + `Condvar`; shutdown is a flag + `notify_all` + a
+//! bounded join.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use dpcons_obs::jsonv::Value;
+use dpcons_tune::{
+    fleet_sweep_with_progress, tune_with_progress, Cache, FleetOptions, FleetStatus, TuneOptions,
+    WaveHook,
+};
+
+use crate::error::ServeError;
+use crate::jobs::Registry;
+use crate::proto::{find_app, key_hex, JobKind, JobSpec};
+
+/// Where workers put sweep results.
+#[derive(Debug, Clone)]
+pub enum CacheMode {
+    /// No caching at all (every fresh key sweeps).
+    Off,
+    /// Process-memory layer only.
+    Memory,
+    /// Memory + disk under this directory.
+    Disk(std::path::PathBuf),
+}
+
+impl CacheMode {
+    fn build(&self) -> Option<Cache> {
+        match self {
+            CacheMode::Off => None,
+            CacheMode::Memory => Some(Cache::new(None)),
+            CacheMode::Disk(dir) => Some(Cache::new(Some(dir.clone()))),
+        }
+    }
+}
+
+struct Shard {
+    queue: Mutex<VecDeque<u64>>,
+    ready: Condvar,
+}
+
+struct Shared {
+    shards: Vec<Shard>,
+    stop: AtomicBool,
+}
+
+/// Cloneable submission side of the pool.
+#[derive(Clone)]
+pub struct Submitter {
+    shared: Arc<Shared>,
+}
+
+impl Submitter {
+    /// Enqueue a fresh job on the shard owning its key.
+    pub fn enqueue(&self, key: u64, job_id: u64) {
+        let shard = &self.shared.shards[(key % self.shared.shards.len() as u64) as usize];
+        {
+            let mut q = shard.queue.lock().unwrap_or_else(|p| p.into_inner());
+            q.push_back(job_id);
+        }
+        dpcons_obs::gauge("serve.queue_depth").add(1);
+        shard.ready.notify_all();
+    }
+}
+
+/// The joinable pool: owns the worker threads.
+pub struct Pool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Spawn `shards` worker threads draining their own queues into
+    /// [`execute`].
+    pub fn start(shards: usize, registry: Arc<Registry>, cache: CacheMode) -> (Pool, Submitter) {
+        let shards = shards.max(1);
+        let shared = Arc::new(Shared {
+            shards: (0..shards)
+                .map(|_| Shard { queue: Mutex::new(VecDeque::new()), ready: Condvar::new() })
+                .collect(),
+            stop: AtomicBool::new(false),
+        });
+        let handles = (0..shards)
+            .map(|i| {
+                let shared = shared.clone();
+                let registry = registry.clone();
+                let cache = cache.clone();
+                std::thread::Builder::new()
+                    .name(format!("dpcons-serve-worker-{i}"))
+                    .spawn(move || worker_loop(i, &shared, &registry, &cache))
+                    .unwrap_or_else(|e| panic!("failed to spawn worker thread: {e}"))
+            })
+            .collect();
+        (Pool { shared: shared.clone(), handles }, Submitter { shared })
+    }
+
+    /// Stop accepting queue pops once current queues drain, then join every
+    /// worker within `deadline`. Returns `true` on a clean join — the
+    /// drain-on-shutdown contract. Workers finish their queued jobs first;
+    /// only a wedged sweep makes this return `false`.
+    pub fn drain(self, deadline: Duration) -> bool {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        for s in &self.shared.shards {
+            s.ready.notify_all();
+        }
+        let until = Instant::now() + deadline;
+        for h in self.handles {
+            while !h.is_finished() {
+                if Instant::now() >= until {
+                    return false;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            let _ = h.join();
+        }
+        true
+    }
+}
+
+fn worker_loop(shard_idx: usize, shared: &Shared, registry: &Arc<Registry>, cache: &CacheMode) {
+    let shard = &shared.shards[shard_idx];
+    loop {
+        let job_id = {
+            let mut q = shard.queue.lock().unwrap_or_else(|p| p.into_inner());
+            loop {
+                if let Some(id) = q.pop_front() {
+                    break Some(id);
+                }
+                if shared.stop.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (guard, _) = shard
+                    .ready
+                    .wait_timeout(q, Duration::from_millis(50))
+                    .unwrap_or_else(|p| p.into_inner());
+                q = guard;
+            }
+        };
+        let Some(job_id) = job_id else { return };
+        dpcons_obs::gauge("serve.queue_depth").add(-1);
+        let Some(spec) = registry.start(job_id) else { continue };
+        let _span = dpcons_obs::span("serve.job");
+        // One bad job must never take the worker (and its whole shard) down:
+        // sweeps already isolate candidate panics, and this isolates
+        // everything else (setup, result shaping).
+        let outcome =
+            catch_unwind(AssertUnwindSafe(|| execute(&spec, registry.clone(), job_id, cache)))
+                .unwrap_or_else(|p| {
+                    let msg = p
+                        .downcast_ref::<String>()
+                        .map(String::as_str)
+                        .or_else(|| p.downcast_ref::<&str>().copied())
+                        .unwrap_or("non-string panic payload");
+                    Err(ServeError::internal(format!("job panicked: {msg}")))
+                });
+        registry.finish(job_id, outcome);
+    }
+}
+
+/// Run one admitted job to completion.
+fn execute(
+    spec: &JobSpec,
+    registry: Arc<Registry>,
+    job_id: u64,
+    cache: &CacheMode,
+) -> Result<Value, ServeError> {
+    let app = find_app(&spec.app, spec.profile)?;
+    // Wave events stream straight into the registry, so `GET /jobs/{id}`
+    // and the chunked stream endpoint see progress while the sweep runs.
+    let hook = {
+        let registry = registry.clone();
+        WaveHook::new(move |p| registry.push_wave(job_id, p))
+    };
+    match spec.kind {
+        JobKind::Tune => {
+            let opts = TuneOptions {
+                base: dpcons_apps::RunConfig {
+                    gpu: spec.devices[0].clone(),
+                    ..dpcons_apps::RunConfig::default()
+                },
+                space: spec.space.clone(),
+                budget: spec.budget,
+                with_baselines: false,
+                cache: cache.build(),
+            };
+            let report = tune_with_progress(app.as_ref(), &opts, &hook)
+                .map_err(|e| ServeError::faulted(e.to_string()))?;
+            debug_assert_eq!(report.key, spec.key);
+            let Some(winner) = report.best_knobs() else {
+                return Err(ServeError::faulted(format!(
+                    "no feasible winner: {} evaluated, {} failed, {} panicked, {} timed out",
+                    report.evaluated, report.failed, report.panicked, report.timed_out
+                )));
+            };
+            let best_cycles = report
+                .best
+                .and_then(|i| report.candidates.get(i))
+                .and_then(|c| match &c.status {
+                    dpcons_tune::Status::Evaluated(m) => Some(m.cycles),
+                    _ => None,
+                })
+                .unwrap_or(0);
+            let mut w = BTreeMap::new();
+            w.insert("knobs".to_string(), Value::Str(winner.label()));
+            w.insert("cycles".to_string(), Value::Num(best_cycles as f64));
+            let mut o = BTreeMap::new();
+            o.insert("kind".to_string(), Value::Str("tune".to_string()));
+            o.insert("app".to_string(), Value::Str(report.app.clone()));
+            o.insert("device".to_string(), Value::Str(report.gpu.clone()));
+            o.insert("key".to_string(), Value::Str(key_hex(report.key)));
+            o.insert("winner".to_string(), Value::Obj(w));
+            o.insert("evaluated".to_string(), Value::Num(report.evaluated as f64));
+            o.insert("pruned".to_string(), Value::Num(report.pruned as f64));
+            o.insert(
+                "faulted".to_string(),
+                Value::Num((report.failed + report.panicked + report.timed_out) as f64),
+            );
+            o.insert("from_cache".to_string(), Value::Bool(report.from_cache));
+            Ok(Value::Obj(o))
+        }
+        JobKind::Fleet => {
+            let opts = FleetOptions {
+                base: dpcons_apps::RunConfig::default(),
+                space: spec.space.clone(),
+                budget: spec.budget,
+                fleet: spec.devices.clone(),
+                cache: cache.build(),
+            };
+            let report = fleet_sweep_with_progress(app.as_ref(), &opts, &hook)
+                .map_err(|e| ServeError::faulted(e.to_string()))?;
+            debug_assert_eq!(report.key, spec.key);
+            if report.winners.iter().all(Option::is_none) {
+                return Err(ServeError::faulted("no feasible winner on any device".to_string()));
+            }
+            let winners: Vec<Value> = report
+                .devices
+                .iter()
+                .enumerate()
+                .map(|(d, name)| {
+                    let Some(idx) = report.winners[d] else { return Value::Null };
+                    let Some(cand) = report.candidates.get(idx) else { return Value::Null };
+                    let cycles = match &cand.status {
+                        FleetStatus::Retimed(cells) => cells.get(d).map(|c| c.cycles).unwrap_or(0),
+                        _ => 0,
+                    };
+                    let mut w = BTreeMap::new();
+                    w.insert("device".to_string(), Value::Str(name.clone()));
+                    w.insert("knobs".to_string(), Value::Str(cand.knobs.label()));
+                    w.insert("cycles".to_string(), Value::Num(cycles as f64));
+                    Value::Obj(w)
+                })
+                .collect();
+            let mut o = BTreeMap::new();
+            o.insert("kind".to_string(), Value::Str("fleet".to_string()));
+            o.insert("app".to_string(), Value::Str(report.app.clone()));
+            o.insert(
+                "devices".to_string(),
+                Value::Arr(report.devices.iter().map(|d| Value::Str(d.clone())).collect()),
+            );
+            o.insert("key".to_string(), Value::Str(key_hex(report.key)));
+            o.insert("winners".to_string(), Value::Arr(winners));
+            o.insert("functional_runs".to_string(), Value::Num(report.functional_runs as f64));
+            o.insert("retimings".to_string(), Value::Num(report.retimings as f64));
+            o.insert("from_cache".to_string(), Value::Bool(report.from_cache));
+            Ok(Value::Obj(o))
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! The `dpcons-serve v1` wire protocol: request parsing, server-side budget
+//! clamping, and normalization into the exact cache keys the sweep substrate
+//! uses.
+//!
+//! Normalization is the load-bearing step. Two requests are "the same job"
+//! iff they normalize to the same key, and the key is computed by
+//! [`dpcons_tune::cache_key_for`] / [`dpcons_tune::fleet_cache_key_for`] —
+//! the same functions the sweeps use for their own cache — so the in-flight
+//! dedup table and the result cache can never disagree about identity.
+//! Clamping happens *before* keying: a request asking for more than the
+//! server grants dedups against other requests clamped to the same grant.
+
+use std::collections::BTreeMap;
+
+use dpcons_apps::{all_benchmarks, Benchmark, Profile, RunConfig};
+use dpcons_core::KnobSpace;
+use dpcons_obs::jsonv::Value;
+use dpcons_sim::GpuConfig;
+use dpcons_tune::{cache_key_for, fingerprint, fleet_cache_key_for, Budget};
+
+use crate::error::ServeError;
+
+/// Protocol identifier carried in every response body.
+pub const PROTO: &str = "dpcons-serve v1";
+
+/// Server-side budget clamps. Every admitted job's [`Budget`] is bounded by
+/// these regardless of what the client asked for; `max_evals` beyond the cap
+/// is a typed `over_budget` rejection, while `fuel` and `max_candidate_ms`
+/// are clamped silently (and fuel is always forced on, so no candidate can
+/// run unbounded). Wave size is a crate constant
+/// ([`dpcons_tune::WAVE_SIZE`]) — clients cannot widen it.
+#[derive(Debug, Clone)]
+pub struct Limits {
+    /// Hard ceiling on `budget.max_evals`; requests above it are rejected.
+    pub max_evals_cap: usize,
+    /// `max_evals` granted when the request omits it.
+    pub default_max_evals: usize,
+    /// Ceiling (and forced default) for the deterministic per-candidate
+    /// fuel budget.
+    pub fuel_cap: u64,
+    /// Ceiling for the per-candidate wall-clock soft deadline; `None` in the
+    /// request stays `None` (fuel is the hard stop).
+    pub max_candidate_ms_cap: u64,
+    /// Maximum devices in one fleet request.
+    pub max_fleet: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Limits {
+        Limits {
+            max_evals_cap: 64,
+            default_max_evals: 24,
+            fuel_cap: 50_000_000,
+            max_candidate_ms_cap: 60_000,
+            max_fleet: 5,
+        }
+    }
+}
+
+/// Which sweep a job runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobKind {
+    Tune,
+    Fleet,
+}
+
+impl JobKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobKind::Tune => "tune",
+            JobKind::Fleet => "fleet",
+        }
+    }
+}
+
+/// A fully normalized, admitted job: everything a worker needs to run the
+/// sweep, plus the canonical `key` the job dedups and caches under.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    pub kind: JobKind,
+    pub app: String,
+    pub profile: Profile,
+    /// One device for tune; the capture device first for fleet.
+    pub devices: Vec<GpuConfig>,
+    pub budget: Budget,
+    pub space: KnobSpace,
+    pub fingerprint: u64,
+    pub key: u64,
+}
+
+/// Look a benchmark up by its registry name (case-insensitive).
+pub fn find_app(name: &str, profile: Profile) -> Result<Box<dyn Benchmark>, ServeError> {
+    let apps = all_benchmarks(profile);
+    let known: Vec<&str> = apps.iter().map(|a| a.name()).collect();
+    let known = known.join(", ");
+    apps.into_iter()
+        .find(|a| a.name().eq_ignore_ascii_case(name.trim()))
+        .ok_or_else(|| ServeError::invalid(format!("unknown app `{name}`; known apps: {known}")))
+}
+
+fn parse_profile(v: &Value) -> Result<Profile, ServeError> {
+    match v.get("profile") {
+        None => Ok(Profile::Test),
+        Some(Value::Str(s)) => match s.to_ascii_lowercase().as_str() {
+            "test" => Ok(Profile::Test),
+            "bench" => Ok(Profile::Bench),
+            other => Err(ServeError::invalid(format!(
+                "unknown profile `{other}` (expected \"test\" or \"bench\")"
+            ))),
+        },
+        Some(_) => Err(ServeError::usage("`profile` must be a string")),
+    }
+}
+
+fn field_u64(obj: &Value, key: &str) -> Result<Option<u64>, ServeError> {
+    match obj.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::Num(n)) if *n >= 0.0 && n.fract() == 0.0 => Ok(Some(*n as u64)),
+        Some(_) => Err(ServeError::usage(format!("`budget.{key}` must be a non-negative integer"))),
+    }
+}
+
+/// Parse and clamp the optional `budget` object.
+fn parse_budget(v: &Value, limits: &Limits) -> Result<Budget, ServeError> {
+    let budget = v.get("budget").cloned().unwrap_or(Value::Obj(BTreeMap::new()));
+    if budget.as_obj().is_none() {
+        return Err(ServeError::usage("`budget` must be an object"));
+    }
+    let max_evals = match field_u64(&budget, "max_evals")? {
+        None => limits.default_max_evals,
+        Some(0) => {
+            return Err(ServeError::invalid("budget.max_evals must be nonzero"));
+        }
+        Some(n) if n as usize > limits.max_evals_cap => {
+            return Err(ServeError::over_budget(format!(
+                "budget.max_evals {} exceeds this server's cap of {}",
+                n, limits.max_evals_cap
+            )));
+        }
+        Some(n) => n as usize,
+    };
+    let patience = field_u64(&budget, "patience")?.map(|n| n as usize);
+    // Fuel is always on: a client may tighten it below the cap, never
+    // loosen it past the cap (or disable it).
+    let fuel = field_u64(&budget, "fuel")?.unwrap_or(limits.fuel_cap).min(limits.fuel_cap);
+    let fuel = if fuel == 0 { limits.fuel_cap } else { fuel };
+    let max_candidate_ms =
+        field_u64(&budget, "max_candidate_ms")?.map(|ms| ms.min(limits.max_candidate_ms_cap));
+    Ok(Budget { max_evals: Some(max_evals), patience, fuel: Some(fuel), max_candidate_ms })
+}
+
+fn parse_device(name: &str) -> Result<GpuConfig, ServeError> {
+    GpuConfig::by_name(name).ok_or_else(|| {
+        ServeError::invalid(format!(
+            "unknown device `{name}`; known devices: {}",
+            GpuConfig::registry_names().join(", ")
+        ))
+    })
+}
+
+fn required_str<'v>(v: &'v Value, key: &str) -> Result<&'v str, ServeError> {
+    match v.get(key) {
+        Some(Value::Str(s)) => Ok(s),
+        Some(_) => Err(ServeError::usage(format!("`{key}` must be a string"))),
+        None => Err(ServeError::usage(format!("missing required field `{key}`"))),
+    }
+}
+
+/// Parse a `POST /tune` or `POST /fleet` body into an admitted [`JobSpec`].
+///
+/// This runs the app's CPU oracle once to compute the dataset fingerprint —
+/// the same fingerprint the sweep would compute — so the returned `key` is
+/// byte-identical to the one the sweep stores its report under.
+pub fn parse_request(kind: JobKind, body: &str, limits: &Limits) -> Result<JobSpec, ServeError> {
+    let v = dpcons_obs::jsonv::parse(body)
+        .map_err(|e| ServeError::usage(format!("malformed JSON body: {e}")))?;
+    if v.as_obj().is_none() {
+        return Err(ServeError::usage("request body must be a JSON object"));
+    }
+    let profile = parse_profile(&v)?;
+    let app_name = required_str(&v, "app")?;
+    let budget = parse_budget(&v, limits)?;
+
+    let devices = match kind {
+        JobKind::Tune => vec![parse_device(required_str(&v, "device")?)?],
+        JobKind::Fleet => {
+            let list = match v.get("devices") {
+                Some(Value::Arr(a)) if !a.is_empty() => a,
+                Some(Value::Arr(_)) => {
+                    return Err(ServeError::invalid("`devices` must name at least one device"));
+                }
+                Some(_) => return Err(ServeError::usage("`devices` must be an array of strings")),
+                None => return Err(ServeError::usage("missing required field `devices`")),
+            };
+            if list.len() > limits.max_fleet {
+                return Err(ServeError::over_budget(format!(
+                    "{} devices exceeds this server's fleet cap of {}",
+                    list.len(),
+                    limits.max_fleet
+                )));
+            }
+            let mut fleet = Vec::with_capacity(list.len());
+            for d in list {
+                let name = d
+                    .as_str()
+                    .ok_or_else(|| ServeError::usage("`devices` must be an array of strings"))?;
+                fleet.push(parse_device(name)?);
+            }
+            fleet
+        }
+    };
+
+    let app = find_app(app_name, profile)?;
+    let fp = fingerprint(app.as_ref());
+    let space = KnobSpace::quick(devices[0].num_sms);
+    let base = RunConfig { gpu: devices[0].clone(), ..RunConfig::default() };
+    let key = match kind {
+        JobKind::Tune => cache_key_for(app.name(), fp, &base, &space, &budget, false),
+        JobKind::Fleet => fleet_cache_key_for(app.name(), fp, &base, &space, &budget, &devices),
+    };
+    Ok(JobSpec {
+        kind,
+        app: app.name().to_string(),
+        profile,
+        devices,
+        budget,
+        space,
+        fingerprint: fp,
+        key,
+    })
+}
+
+/// Render a `u64` key for the wire. Keys are full-width hashes; `jsonv`
+/// holds numbers as `f64`, so they travel as fixed-width hex strings.
+pub fn key_hex(key: u64) -> String {
+    format!("{key:016x}")
+}
+
+/// Build the standard JSON error body for a [`ServeError`].
+pub fn error_body(err: &ServeError) -> Value {
+    let mut e = BTreeMap::new();
+    e.insert("code".to_string(), Value::Str(err.class.code().to_string()));
+    e.insert("message".to_string(), Value::Str(err.message.clone()));
+    let mut o = BTreeMap::new();
+    o.insert("proto".to_string(), Value::Str(PROTO.to_string()));
+    o.insert("error".to_string(), Value::Obj(e));
+    Value::Obj(o)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::ErrorClass;
+
+    fn limits() -> Limits {
+        Limits::default()
+    }
+
+    #[test]
+    fn identical_bodies_normalize_to_identical_keys() {
+        let a =
+            parse_request(JobKind::Fleet, r#"{"app":"SSSP","devices":["k20c","k40"]}"#, &limits())
+                .unwrap();
+        let b = parse_request(
+            JobKind::Fleet,
+            r#"{ "devices" : ["k20c","k40"], "app" : "sssp", "profile": "test" }"#,
+            &limits(),
+        )
+        .unwrap();
+        assert_eq!(a.key, b.key, "field order, spacing, and app case must not matter");
+    }
+
+    #[test]
+    fn over_cap_budget_dedups_with_clamped_budget() {
+        // fuel above the cap is clamped before keying, so it is the same job
+        // as one that asked for exactly the cap.
+        let big = parse_request(
+            JobKind::Tune,
+            r#"{"app":"SSSP","device":"k20c","budget":{"fuel":999999999999}}"#,
+            &limits(),
+        )
+        .unwrap();
+        let capped =
+            parse_request(JobKind::Tune, r#"{"app":"SSSP","device":"k20c"}"#, &limits()).unwrap();
+        assert_eq!(big.key, capped.key);
+        assert_eq!(big.budget.fuel, Some(limits().fuel_cap));
+    }
+
+    #[test]
+    fn typed_rejections() {
+        let cases = [
+            (JobKind::Tune, "{not json", ErrorClass::Usage),
+            (JobKind::Tune, r#"{"device":"k20c"}"#, ErrorClass::Usage),
+            (JobKind::Tune, r#"{"app":"SSSP","device":"gtx9000"}"#, ErrorClass::Invalid),
+            (JobKind::Tune, r#"{"app":"NotAnApp","device":"k20c"}"#, ErrorClass::Invalid),
+            (
+                JobKind::Tune,
+                r#"{"app":"SSSP","device":"k20c","budget":{"max_evals":0}}"#,
+                ErrorClass::Invalid,
+            ),
+            (
+                JobKind::Tune,
+                r#"{"app":"SSSP","device":"k20c","budget":{"max_evals":100000}}"#,
+                ErrorClass::OverBudget,
+            ),
+            (JobKind::Fleet, r#"{"app":"SSSP","devices":[]}"#, ErrorClass::Invalid),
+            (
+                JobKind::Fleet,
+                r#"{"app":"SSSP","devices":["k20c","k40","titan","tk1","tiny","k20c"]}"#,
+                ErrorClass::OverBudget,
+            ),
+        ];
+        for (kind, body, want) in cases {
+            let err = parse_request(kind, body, &limits()).unwrap_err();
+            assert_eq!(err.class, want, "{body} -> {err}");
+        }
+    }
+
+    #[test]
+    fn tune_and_fleet_requests_never_collide() {
+        let t =
+            parse_request(JobKind::Tune, r#"{"app":"SSSP","device":"k20c"}"#, &limits()).unwrap();
+        let f = parse_request(JobKind::Fleet, r#"{"app":"SSSP","devices":["k20c"]}"#, &limits())
+            .unwrap();
+        assert_ne!(t.key, f.key, "tune and fleet keys live in distinct namespaces");
+    }
+}

@@ -1,0 +1,159 @@
+//! Daemon API coverage: typed 4xx errors, progress streaming, metrics,
+//! fault-injected jobs failing without killing the server, and the
+//! drain-on-shutdown lifecycle.
+//!
+//! `tune::fault` installs a process-global plan, so the tests serialize on
+//! one mutex (the same discipline as `crates/tune/tests/fault_injection.rs`).
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+use dpcons_serve::pool::CacheMode;
+use dpcons_serve::{serve, Client, ErrorClass, ServerConfig};
+use dpcons_tune::fault::{self, FaultPlan};
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serialize() -> MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn start() -> (dpcons_serve::ServerHandle, Client) {
+    let handle =
+        serve(ServerConfig { workers: 2, cache: CacheMode::Off, ..ServerConfig::default() })
+            .expect("server starts");
+    let client = Client::new(handle.addr().to_string());
+    (handle, client)
+}
+
+#[test]
+fn bad_requests_get_typed_4xx_errors() {
+    let _guard = serialize();
+    let (handle, client) = start();
+
+    let cases: Vec<(&str, &str, ErrorClass)> = vec![
+        ("tune", "{definitely not json", ErrorClass::Usage),
+        ("tune", r#"{"device":"k20c"}"#, ErrorClass::Usage),
+        ("tune", r#"{"app":"SSSP","device":"gtx9000"}"#, ErrorClass::Invalid),
+        ("tune", r#"{"app":"NotAnApp","device":"k20c"}"#, ErrorClass::Invalid),
+        ("tune", r#"{"app":"SSSP","device":"k20c","budget":{"max_evals":0}}"#, ErrorClass::Invalid),
+        (
+            "tune",
+            r#"{"app":"SSSP","device":"k20c","budget":{"max_evals":5000}}"#,
+            ErrorClass::OverBudget,
+        ),
+        ("fleet", r#"{"app":"SSSP","devices":["k20c","warpdrive"]}"#, ErrorClass::Invalid),
+        ("fleet", r#"{"app":"SSSP"}"#, ErrorClass::Usage),
+    ];
+    for (endpoint, body_text, want) in cases {
+        // Post the raw text so the *server's* validation classifies it —
+        // including the bodies that are not JSON at all.
+        let err = client.post_raw(&format!("/{endpoint}"), body_text).unwrap_err();
+        assert_eq!(err.class, want, "{endpoint} {body_text} -> {err}");
+        assert_eq!(err.class.http_status().0 / 100, 4, "caller errors are 4xx");
+    }
+
+    // Unknown job and unknown route are 404s.
+    let err = client.job(99_999).unwrap_err();
+    assert_eq!(err.class, ErrorClass::NotFound);
+    let err = client.stream_lines(99_999).unwrap_err();
+    assert_eq!(err.class, ErrorClass::NotFound);
+
+    handle.shutdown().expect("clean drain");
+}
+
+#[test]
+fn jobs_stream_progress_and_feed_metrics() {
+    let _guard = serialize();
+    let (handle, client) = start();
+
+    let body = Client::tune_body("SSSP", "k20c", 8);
+    let sub = client.submit("tune", &body).unwrap();
+    let view = client.wait(sub.job, Duration::from_secs(120)).unwrap();
+    assert_eq!(view.get("status").and_then(|s| s.as_str()), Some("done"));
+    let result = view.get("result").expect("done job carries a result");
+    assert!(result.get("winner").and_then(|w| w.get("knobs")).is_some());
+    assert_eq!(result.get("key").and_then(|k| k.as_str()), Some(sub.key.as_str()));
+
+    // The job view recorded ordered waves summing to the evaluated count.
+    let waves = view.get("waves").and_then(|w| w.as_arr()).unwrap();
+    assert!(!waves.is_empty());
+    let mut total = 0.0;
+    for (i, w) in waves.iter().enumerate() {
+        assert_eq!(w.get("wave").and_then(|v| v.as_num()), Some(i as f64));
+        total += w.get("evaluated").and_then(|v| v.as_num()).unwrap();
+    }
+    let evaluated = result.get("evaluated").and_then(|v| v.as_num()).unwrap();
+    let faulted = result.get("faulted").and_then(|v| v.as_num()).unwrap();
+    assert_eq!(total, evaluated + faulted, "wave counts sum to evaluated candidates");
+
+    // The stream endpoint replays the same waves as NDJSON and terminates
+    // with the job's status.
+    let lines = client.stream_lines(sub.job).unwrap();
+    assert_eq!(lines.len(), waves.len() + 1, "one line per wave plus the status line");
+    for (i, line) in lines[..waves.len()].iter().enumerate() {
+        let w = dpcons_obs::jsonv::parse(line).unwrap();
+        assert_eq!(w.get("wave").and_then(|v| v.as_num()), Some(i as f64));
+    }
+    let last = dpcons_obs::jsonv::parse(lines.last().unwrap()).unwrap();
+    assert_eq!(last.get("status").and_then(|s| s.as_str()), Some("done"));
+
+    // A second identical submission dedups onto the done job: instant done.
+    let again = client.submit("tune", &body).unwrap();
+    assert!(again.deduped);
+    assert_eq!(again.job, sub.job);
+    assert_eq!(again.status, "done");
+
+    // /metrics renders the serve counters.
+    let metrics = client.metrics().unwrap();
+    for needle in ["serve.requests", "serve.jobs_done", "serve.deduped", "serve.queue_depth"] {
+        assert!(metrics.contains(needle), "/metrics missing {needle}:\n{metrics}");
+    }
+
+    handle.shutdown().expect("clean drain");
+}
+
+#[test]
+fn fault_injected_job_fails_without_killing_the_server() {
+    let _guard = serialize();
+    let (handle, client) = start();
+
+    // Every candidate evaluation panics: the sweep completes with no
+    // feasible winner, the job reports `failed`, the server stays up.
+    {
+        let _scope = fault::install(FaultPlan { panic_rate: 1.0, ..FaultPlan::new(7) });
+        let sub = client.submit("tune", &Client::tune_body("SSSP", "k20c", 8)).unwrap();
+        let err = client.wait(sub.job, Duration::from_secs(120)).unwrap_err();
+        assert_eq!(err.class, ErrorClass::Faulted, "{err}");
+        let view = client.job(sub.job).unwrap();
+        assert_eq!(view.get("status").and_then(|s| s.as_str()), Some("failed"));
+    }
+
+    // The plan is uninstalled; the same request now succeeds — proving both
+    // that the server survived and that a failed job released its dedup key.
+    assert!(client.healthz().is_ok(), "server must still answer after a failed job");
+    let sub = client.submit("tune", &Client::tune_body("SSSP", "k20c", 8)).unwrap();
+    assert!(!sub.deduped, "a failed job must not hold the dedup key");
+    let view = client.wait(sub.job, Duration::from_secs(120)).unwrap();
+    assert_eq!(view.get("status").and_then(|s| s.as_str()), Some("done"));
+
+    handle.shutdown().expect("clean drain");
+}
+
+#[test]
+fn draining_server_rejects_new_jobs_but_finishes_old_ones() {
+    let _guard = serialize();
+    let (handle, client) = start();
+
+    let _sub = client.submit("tune", &Client::tune_body("TH", "k20c", 4)).unwrap();
+    client.shutdown_server().unwrap();
+
+    // New submissions are refused while draining...
+    let err = client.submit("tune", &Client::tune_body("TD", "k20c", 4)).unwrap_err();
+    assert_eq!(err.class, ErrorClass::Unavailable);
+    let health = client.healthz().unwrap();
+    assert_eq!(health.get("draining"), Some(&dpcons_obs::jsonv::Value::Bool(true)));
+
+    // ...but the already-admitted job still completes and the drain is clean.
+    handle.shutdown().expect("drain finishes the queued job");
+}

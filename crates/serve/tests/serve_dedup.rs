@@ -1,0 +1,106 @@
+//! The acceptance contract for the daemon: 8 concurrent identical fleet
+//! requests against a live server cost exactly one functional sweep, every
+//! client gets a completed response with identical winners, and the server
+//! drains cleanly afterwards.
+//!
+//! This is deliberately the only test in this integration-test binary —
+//! `dpcons_sim::functional_execs_total` and the `fleet.captures` counter are
+//! process-wide, and a lone test owns its whole process, so the deltas below
+//! observe nothing but this test's sweeps (mirroring
+//! `crates/tune/tests/fleet_exec_count.rs`).
+
+use std::time::Duration;
+
+use dpcons_serve::pool::CacheMode;
+use dpcons_serve::{parse_request, serve, Client, JobKind, Limits, ServerConfig};
+use dpcons_sim::functional_execs_total;
+use dpcons_tune::{fleet_sweep, FleetOptions};
+
+const BODY: &str = r#"{"app":"SSSP","devices":["k20c","k40"],"budget":{"max_evals":8}}"#;
+
+#[test]
+fn eight_concurrent_identical_requests_cost_one_sweep() {
+    // Reference: what one sweep of this exact normalized job costs, run
+    // in-process through the same substrate the server uses. `parse_request`
+    // gives us the server's own clamped budget and key.
+    let spec = parse_request(JobKind::Fleet, BODY, &Limits::default()).unwrap();
+    let app = dpcons_serve::proto::find_app(&spec.app, spec.profile).unwrap();
+    let opts = FleetOptions {
+        base: dpcons_apps::RunConfig::default(),
+        space: spec.space.clone(),
+        budget: spec.budget,
+        fleet: spec.devices.clone(),
+        cache: None,
+    };
+    let execs_before = functional_execs_total();
+    let captures = dpcons_obs::counter("fleet.captures");
+    let captures_before = captures.get();
+    let reference = fleet_sweep(app.as_ref(), &opts).unwrap();
+    let one_sweep_execs = functional_execs_total() - execs_before;
+    let one_sweep_captures = captures.get() - captures_before;
+    assert!(one_sweep_execs > 0, "the reference sweep must actually execute kernels");
+    assert_eq!(reference.key, spec.key, "server normalization matches the sweep's own key");
+
+    // The server under test: caching off, so only the dedup table can save
+    // work — a cache hit would prove nothing about deduplication.
+    let handle =
+        serve(ServerConfig { workers: 4, cache: CacheMode::Off, ..ServerConfig::default() })
+            .unwrap();
+    let addr = handle.addr().to_string();
+
+    let execs_before = functional_execs_total();
+    let captures_before = captures.get();
+    let deduped_counter = dpcons_obs::counter("serve.deduped");
+    let deduped_before = deduped_counter.get();
+
+    // 8 clients race the same request.
+    let results: Vec<_> = std::thread::scope(|s| {
+        let addr = &addr;
+        let joins: Vec<_> = (0..8)
+            .map(|_| {
+                s.spawn(move || {
+                    let client = Client::new(addr.clone());
+                    let body = dpcons_obs::jsonv::parse(BODY).unwrap();
+                    let sub = client.submit("fleet", &body).unwrap();
+                    let view = client.wait(sub.job, Duration::from_secs(120)).unwrap();
+                    (sub, view)
+                })
+            })
+            .collect();
+        joins.into_iter().map(|j| j.join().unwrap()).collect()
+    });
+
+    // Exactly one admission created a job; the other 7 attached to it.
+    let fresh = results.iter().filter(|(sub, _)| !sub.deduped).count();
+    assert_eq!(fresh, 1, "exactly one of 8 identical submissions may create a job");
+    assert_eq!(deduped_counter.get() - deduped_before, 7);
+    let first_job = results[0].0.job;
+    assert!(results.iter().all(|(sub, _)| sub.job == first_job), "all clients share one job");
+
+    // One functional sweep ran — not eight.
+    assert_eq!(
+        functional_execs_total() - execs_before,
+        one_sweep_execs,
+        "8 concurrent identical requests must cost exactly one sweep's kernel executions"
+    );
+    assert_eq!(captures.get() - captures_before, one_sweep_captures);
+
+    // Every client completed with identical winners, matching the reference.
+    let winners0 = results[0].1.get("result").and_then(|r| r.get("winners")).cloned().unwrap();
+    for (_, view) in &results {
+        assert_eq!(view.get("status").and_then(|s| s.as_str()), Some("done"));
+        assert_eq!(
+            view.get("result").and_then(|r| r.get("winners")),
+            Some(&winners0),
+            "all 8 responses carry identical winners"
+        );
+    }
+    let ref_winner = reference.winner_knobs(0).unwrap().label();
+    let served_winner =
+        winners0.as_arr().unwrap()[0].get("knobs").and_then(|k| k.as_str()).unwrap().to_string();
+    assert_eq!(served_winner, ref_winner, "served winner matches the in-process sweep");
+
+    // Drain-on-shutdown: all jobs are terminal, the join is clean.
+    assert!(handle.idle());
+    handle.shutdown().expect("server must drain cleanly");
+}

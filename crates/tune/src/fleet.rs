@@ -36,7 +36,7 @@ use crate::par::parallel_map_robust;
 use crate::report::Status;
 use crate::tuner::{
     candidate_config, enumerate_candidates, evaluate_candidate, fingerprint, leading_default_count,
-    prune_reason, run_waves, tune, Budget, TuneError, TuneOptions, CACHE_SCHEMA,
+    prune_reason, run_waves, tune, Budget, TuneError, TuneOptions, WaveHook, CACHE_SCHEMA,
 };
 
 /// Everything configuring one fleet sweep.
@@ -390,7 +390,12 @@ fn parse_candidate(rest: &str, n_devices: usize) -> Result<FleetCandidate, Strin
 /// Cache key of a fleet sweep: the tuner key dimensions (minus the single
 /// device, which the fleet replaces) plus the full description — structural
 /// limits *and* cost model — of every fleet device, in order.
-fn fleet_cache_key(
+///
+/// This is the exact normalization [`fleet_sweep`] uses for its own cache,
+/// published so out-of-process dedup layers (e.g. a serving front end) derive
+/// the same key. Note `base.gpu` is ignored: the capture device is always
+/// `fleet[0]`, so callers may pass `base` as-is.
+pub fn fleet_cache_key_for(
     app: &str,
     fp: u64,
     base: &RunConfig,
@@ -423,6 +428,17 @@ fn fleet_cache_key(
 /// wave parallelism and [`Budget`] semantics (paper defaults are always
 /// captured; patience counts waves without improvement on *any* device).
 pub fn fleet_sweep(app: &dyn Benchmark, opts: &FleetOptions) -> Result<FleetReport, FleetError> {
+    fleet_sweep_with_progress(app, opts, &WaveHook::none())
+}
+
+/// [`fleet_sweep`] with a per-wave progress callback. The hook fires after
+/// each evaluated wave is recorded; a cache hit replays no waves, so the hook
+/// is never called on that path.
+pub fn fleet_sweep_with_progress(
+    app: &dyn Benchmark,
+    opts: &FleetOptions,
+    on_wave: &WaveHook,
+) -> Result<FleetReport, FleetError> {
     let _sweep = dpcons_obs::span("fleet.sweep");
     let Some(capture_dev) = opts.fleet.first() else {
         return Err(FleetError::EmptyFleet);
@@ -455,7 +471,7 @@ pub fn fleet_sweep(app: &dyn Benchmark, opts: &FleetOptions) -> Result<FleetRepo
     let base = RunConfig { gpu: capture_dev.clone(), ..opts.base.clone() };
 
     let fp = fingerprint(app);
-    let key = fleet_cache_key(app.name(), fp, &base, &opts.space, &opts.budget, &opts.fleet);
+    let key = fleet_cache_key_for(app.name(), fp, &base, &opts.space, &opts.budget, &opts.fleet);
     if let Some(cache) = &opts.cache {
         if let Some(text) = cache.get_text(key) {
             match FleetReport::from_text(&text) {
@@ -488,6 +504,7 @@ pub fn fleet_sweep(app: &dyn Benchmark, opts: &FleetOptions) -> Result<FleetRepo
         &eval_idx,
         n_defaults,
         &opts.budget,
+        on_wave,
         |batch| {
             let jobs: Vec<_> = batch
                 .iter()

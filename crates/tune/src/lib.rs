@@ -73,14 +73,14 @@ pub mod tuner;
 pub use cache::{fnv1a, Cache, Fnv64};
 pub use fault::{FaultPlan, FaultScope};
 pub use fleet::{
-    fleet_sweep, transfer_check, DeviceCell, FleetCandidate, FleetError, FleetOptions, FleetReport,
-    FleetStatus, TransferReport,
+    fleet_cache_key_for, fleet_sweep, fleet_sweep_with_progress, transfer_check, DeviceCell,
+    FleetCandidate, FleetError, FleetOptions, FleetReport, FleetStatus, TransferReport,
 };
 pub use knobs::Knobs;
 pub use par::{parallel_map, parallel_map_robust};
 pub use report::{CandidateOutcome, Metrics, Status, TuneReport};
 pub use tuner::{
-    candidate_config, default_knobs, enumerate_candidates, evaluate_candidate,
+    cache_key_for, candidate_config, default_knobs, enumerate_candidates, evaluate_candidate,
     evaluate_candidate_robust, fingerprint, materialize_directive, prune_reason, run_tuned, tune,
-    Budget, TuneError, TuneOptions, WAVE_SIZE,
+    tune_with_progress, Budget, TuneError, TuneOptions, WaveHook, WaveProgress, WAVE_SIZE,
 };

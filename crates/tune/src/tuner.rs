@@ -8,6 +8,7 @@
 //! oracle-exact runs → cache the report.
 
 use std::collections::HashSet;
+use std::sync::Arc;
 
 use dpcons_apps::{AppError, Benchmark, RunConfig, TuneModel, TunedDirective, Variant};
 use dpcons_core::{
@@ -55,6 +56,57 @@ pub struct Budget {
     /// A candidate that overruns it is recorded as [`Status::TimedOut`].
     /// Machine-dependent — leave `None` when reports must be reproducible.
     pub max_candidate_ms: Option<u64>,
+}
+
+/// Progress of one completed evaluation wave, delivered to the optional
+/// observer of [`tune_with_progress`] / [`crate::fleet_sweep_with_progress`].
+/// Waves are strictly ordered within a sweep (`wave` counts 0, 1, 2, …), so
+/// a streaming consumer can render monotonic progress without buffering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaveProgress {
+    /// 0-based wave index, strictly increasing within one sweep.
+    pub wave: u64,
+    /// Candidates evaluated in this wave.
+    pub evaluated: usize,
+    /// Candidates evaluated so far, this wave included.
+    pub evaluated_total: usize,
+    /// Evaluable candidates the sweep planned after pruning; the budget may
+    /// legitimately stop the sweep before reaching them all.
+    pub planned: usize,
+    /// Whether this wave improved the incumbent best on any ranking.
+    pub improved: bool,
+}
+
+/// Observer called after every sweep wave. The default is a no-op; the
+/// callback must be `Send + Sync` because waves run on sweep worker threads.
+/// Cache hits return a finished report without replaying any waves, so an
+/// observer that must see every wave should disable the cache.
+#[derive(Clone, Default)]
+pub struct WaveHook(Option<Arc<dyn Fn(WaveProgress) + Send + Sync>>);
+
+impl WaveHook {
+    /// Wrap a callback.
+    pub fn new(f: impl Fn(WaveProgress) + Send + Sync + 'static) -> WaveHook {
+        WaveHook(Some(Arc::new(f)))
+    }
+
+    /// The no-op hook.
+    pub fn none() -> WaveHook {
+        WaveHook(None)
+    }
+
+    /// Invoke the callback, if one is set.
+    pub fn call(&self, p: WaveProgress) {
+        if let Some(f) = &self.0 {
+            f(p);
+        }
+    }
+}
+
+impl std::fmt::Debug for WaveHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.0.is_some() { "WaveHook(set)" } else { "WaveHook(none)" })
+    }
 }
 
 /// Everything configuring one sweep.
@@ -143,12 +195,14 @@ pub(crate) fn leading_default_count(
 /// patience. `evaluate` runs one batch (parallel inside); `record` stores one
 /// result and reports whether it improved the incumbent(s) — patience only
 /// stops the sweep once at least one improvement has ever been recorded.
-/// Each wave is traced as a `wave_span` span carrying the wave number.
+/// Each wave is traced as a `wave_span` span carrying the wave number, and
+/// reported to `hook` after its results are recorded.
 pub(crate) fn run_waves<S>(
     wave_span: &'static str,
     eval_idx: &[usize],
     n_defaults: usize,
     budget: &Budget,
+    hook: &WaveHook,
     evaluate: impl Fn(&[usize]) -> Vec<S>,
     mut record: impl FnMut(usize, S) -> bool,
 ) {
@@ -169,13 +223,20 @@ pub(crate) fn run_waves<S>(
             let _wave = dpcons_obs::span_n(wave_span, wave_no);
             evaluate(batch)
         };
-        wave_no += 1;
         let mut improved = false;
         for (&i, st) in batch.iter().zip(results) {
             improved |= record(i, st);
             evaluated += 1;
         }
         any_best |= improved;
+        hook.call(WaveProgress {
+            wave: wave_no,
+            evaluated: batch.len(),
+            evaluated_total: evaluated,
+            planned: eval_idx.len(),
+            improved,
+        });
+        wave_no += 1;
         pos = end;
         if let Some(p) = budget.patience {
             if improved {
@@ -414,7 +475,13 @@ fn evaluate_attempt(
     status
 }
 
-fn cache_key(
+/// The canonical single-device tune cache key: the exact normalization used
+/// by [`tune`] for both the in-process dedup layer and the disk cache. Any
+/// out-of-process deduplication (e.g. a serving front end) must derive its
+/// key through this function so the two layers can never disagree.
+///
+/// `fp` is the functional fingerprint from [`fingerprint`].
+pub fn cache_key_for(
     app: &str,
     fp: u64,
     cfg: &RunConfig,
@@ -450,6 +517,17 @@ pub(crate) fn count_prune_reason(reason: &str) {
 
 /// Run (or fetch from cache) a full tuning sweep for `app`.
 pub fn tune(app: &dyn Benchmark, opts: &TuneOptions) -> Result<TuneReport, TuneError> {
+    tune_with_progress(app, opts, &WaveHook::none())
+}
+
+/// [`tune`] with a per-wave progress callback. The hook fires after each
+/// evaluated wave is recorded; a cache hit replays no waves, so the hook is
+/// never called on that path.
+pub fn tune_with_progress(
+    app: &dyn Benchmark,
+    opts: &TuneOptions,
+    on_wave: &WaveHook,
+) -> Result<TuneReport, TuneError> {
     let _sweep = dpcons_obs::span("tune.sweep");
     let model =
         app.tune_model().ok_or_else(|| TuneError::NotTunable { app: app.name().to_string() })?;
@@ -463,7 +541,8 @@ pub fn tune(app: &dyn Benchmark, opts: &TuneOptions) -> Result<TuneReport, TuneE
     }
 
     let fp = fingerprint(app);
-    let key = cache_key(app.name(), fp, &opts.base, &opts.space, &opts.budget, opts.with_baselines);
+    let key =
+        cache_key_for(app.name(), fp, &opts.base, &opts.space, &opts.budget, opts.with_baselines);
     if let Some(cache) = &opts.cache {
         if let Some(hit) = cache.get(key) {
             return Ok(hit);
@@ -508,6 +587,7 @@ pub fn tune(app: &dyn Benchmark, opts: &TuneOptions) -> Result<TuneReport, TuneE
         &eval_idx,
         n_defaults,
         &opts.budget,
+        on_wave,
         |batch| {
             let jobs: Vec<_> = batch
                 .iter()

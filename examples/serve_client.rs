@@ -1,0 +1,112 @@
+//! Tuning-as-a-service walkthrough: daemon, client, dedup, metrics.
+//!
+//! ```sh
+//! cargo run --release --example serve_client
+//! ```
+//!
+//! Starts an in-process `dpcons-serve` daemon on an ephemeral port, then
+//! drives it the way a fleet-management script would:
+//!
+//! 1. submit one single-device tune and poll it to completion,
+//! 2. submit the *same* fleet sweep twice concurrently — the second request
+//!    dedups onto the first job, so two clients pay for one sweep,
+//! 3. read `/metrics` to confirm the serve counters saw all of it,
+//! 4. drain the server and exit cleanly.
+//!
+//! Everything is std-only: the server is a hand-rolled HTTP/1.1 loop over
+//! `std::net::TcpListener`, the wire format is the crate's own strict JSON.
+
+use std::time::Duration;
+
+use dpcons::serve::pool::CacheMode;
+use dpcons::serve::{serve, Client, ServerConfig};
+
+fn main() {
+    // -----------------------------------------------------------------
+    // 1. Boot the daemon in-process on an ephemeral port.
+    // -----------------------------------------------------------------
+    let handle =
+        serve(ServerConfig { workers: 2, cache: CacheMode::Memory, ..ServerConfig::default() })
+            .expect("server binds an ephemeral port");
+    let client = Client::new(handle.addr().to_string());
+    println!("# dpcons-serve listening on {}\n", handle.addr());
+
+    let health = client.healthz().expect("healthz answers");
+    println!("healthz: {}", health.render());
+
+    // -----------------------------------------------------------------
+    // 2. One single-device tune, polled to completion.
+    // -----------------------------------------------------------------
+    let sub = client
+        .submit("tune", &Client::tune_body("SSSP", "k20c", 8))
+        .expect("tune submission is admitted");
+    println!("\ntune job {} (key {}) accepted, status {}", sub.job, sub.key, sub.status);
+    let view = client.wait(sub.job, Duration::from_secs(120)).expect("tune job completes");
+    let result = view.get("result").expect("done job carries a result");
+    println!(
+        "tune done: winner {} ({} cycles), {} candidates evaluated over {} waves",
+        result.get("winner").and_then(|w| w.get("knobs")).and_then(|k| k.as_str()).unwrap_or("?"),
+        result
+            .get("winner")
+            .and_then(|w| w.get("cycles"))
+            .and_then(|c| c.as_num())
+            .unwrap_or(f64::NAN),
+        result.get("evaluated").and_then(|v| v.as_num()).unwrap_or(f64::NAN),
+        view.get("waves").and_then(|w| w.as_arr()).map_or(0, |w| w.len()),
+    );
+
+    // -----------------------------------------------------------------
+    // 3. The same fleet sweep from two clients: one sweep, two answers.
+    // -----------------------------------------------------------------
+    let body = Client::fleet_body("SSSP", &["k20c", "k40", "titan"], 8);
+    let (first, second) = std::thread::scope(|s| {
+        let a = s.spawn(|| client.submit("fleet", &body).expect("first fleet submission"));
+        let b = s.spawn(|| client.submit("fleet", &body).expect("second fleet submission"));
+        (a.join().expect("first client thread"), b.join().expect("second client thread"))
+    });
+    assert_eq!(first.job, second.job, "identical requests share one job");
+    assert_eq!(first.key, second.key, "identical requests normalize to one key");
+    assert!(
+        first.deduped != second.deduped,
+        "exactly one of the two submissions enqueues the sweep"
+    );
+    println!(
+        "\nfleet job {}: two submissions, deduped = ({}, {}) — one sweep pays for both",
+        first.job, first.deduped, second.deduped
+    );
+    let view = client.wait(first.job, Duration::from_secs(120)).expect("fleet job completes");
+    let result = view.get("result").expect("done fleet job carries a result");
+    println!(
+        "fleet done: {} functional runs -> {} retimings; per-device winners:",
+        result.get("functional_runs").and_then(|v| v.as_num()).unwrap_or(f64::NAN),
+        result.get("retimings").and_then(|v| v.as_num()).unwrap_or(f64::NAN),
+    );
+    let winners = result.get("winners").and_then(|w| w.as_arr()).expect("winners array");
+    for w in winners {
+        println!(
+            "  {:<8} {} ({} cycles)",
+            w.get("device").and_then(|d| d.as_str()).unwrap_or("?"),
+            w.get("knobs").and_then(|k| k.as_str()).unwrap_or("infeasible"),
+            w.get("cycles").and_then(|c| c.as_num()).unwrap_or(f64::NAN),
+        );
+    }
+
+    // -----------------------------------------------------------------
+    // 4. The serve counters saw the whole session.
+    // -----------------------------------------------------------------
+    let metrics = client.metrics().expect("/metrics renders");
+    println!("\n/metrics (serve rows):");
+    for line in metrics.lines().filter(|l| l.contains("serve.")) {
+        println!("  {line}");
+    }
+    for needle in ["serve.requests", "serve.jobs_done", "serve.deduped"] {
+        assert!(metrics.contains(needle), "/metrics must report {needle}");
+    }
+
+    // -----------------------------------------------------------------
+    // 5. Drain: finish queued work, stop the pool, exit clean.
+    // -----------------------------------------------------------------
+    client.shutdown_server().expect("drain request accepted");
+    handle.shutdown().expect("clean drain");
+    println!("\nserver drained cleanly");
+}

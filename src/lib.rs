@@ -13,7 +13,9 @@
 //! * [`workloads`] — graph/tree generators and CPU reference algorithms,
 //! * [`apps`] — the seven IPDPS'16 benchmarks and the variant runner,
 //! * [`obs`] — host-side observability: metrics registry, span tracing, and
-//!   Chrome-trace export for the capture/replay/tune pipeline.
+//!   Chrome-trace export for the capture/replay/tune pipeline,
+//! * [`serve`] — the tuning-as-a-service daemon: std-only HTTP/JSON server
+//!   with request dedup, sharded workers, and streamed wave progress.
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour, and `DESIGN.md` /
 //! `EXPERIMENTS.md` for the experiment inventory.
@@ -22,6 +24,7 @@ pub use dpcons_apps as apps;
 pub use dpcons_core as compiler;
 pub use dpcons_ir as ir;
 pub use dpcons_obs as obs;
+pub use dpcons_serve as serve;
 pub use dpcons_sim as sim;
 pub use dpcons_tune as tune;
 pub use dpcons_workloads as workloads;
