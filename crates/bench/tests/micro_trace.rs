@@ -21,17 +21,21 @@ fn micro_json_is_well_formed_and_trace_is_balanced() {
     dpcons_obs::set_tracing(false);
     let spans = dpcons_obs::take_spans();
 
-    // Stage structure: all five stages, in run order, with consistent
+    // Stage structure: all six stages, in run order, with consistent
     // deterministic fields (replay of a capture reproduces its cycle count
-    // and kernel count exactly, and the tree-walker capture reproduces the
-    // bytecode VM's deterministic counters bit-for-bit).
+    // and kernel count exactly — serially and through the batched parallel
+    // entry — and the tree-walker capture reproduces the bytecode VM's
+    // deterministic counters bit-for-bit).
     let names: Vec<&str> = result.stages.iter().map(|s| s.stage).collect();
     assert_eq!(names, MICRO_STAGES);
     let capture = &result.stages[0];
     let capture_tree = &result.stages[1];
     let replay = &result.stages[2];
+    let replay_par = &result.stages[3];
     assert_eq!(capture.cycles, replay.cycles, "timing replay must reproduce captured cycles");
     assert_eq!(capture.work, replay.work, "timing replay covers every captured kernel");
+    assert_eq!(replay.cycles, replay_par.cycles, "parallel replay must match serial cycles");
+    assert_eq!(replay.work, replay_par.work, "parallel replay must match serial kernel count");
     assert_eq!(capture.cycles, capture_tree.cycles, "both executors must agree on cycles");
     assert_eq!(capture.work, capture_tree.work, "both executors must agree on kernel count");
     assert_eq!(capture_tree.engine, "tree");
@@ -41,7 +45,7 @@ fn micro_json_is_well_formed_and_trace_is_balanced() {
     // present and typed as documented.
     let text = micro_json(Profile::Test, &cfg, std::slice::from_ref(&result)).render();
     let doc = jsonv::parse(&text).expect("BENCH_micro.json must be valid JSON");
-    assert_eq!(doc.get("schema").and_then(|v| v.as_str()), Some("dpcons-bench-micro-v2"));
+    assert_eq!(doc.get("schema").and_then(|v| v.as_str()), Some("dpcons-bench-micro-v3"));
     assert_eq!(doc.get("profile").and_then(|v| v.as_str()), Some("test"));
     assert!(doc.get("gpu").and_then(|v| v.as_str()).is_some());
     assert!(
@@ -66,8 +70,15 @@ fn micro_json_is_well_formed_and_trace_is_balanced() {
     // The trace covers the whole pipeline: the micro wrapper, functional
     // capture, timing replay, and every tuner wave (wave args are the
     // contiguous sequence 0..n).
-    for name in ["micro.app", "app.launch", "sim.capture", "sim.replay", "tune.sweep", "tune.wave"]
-    {
+    for name in [
+        "micro.app",
+        "app.launch",
+        "sim.capture",
+        "sim.replay",
+        "tune.replay.batch",
+        "tune.sweep",
+        "tune.wave",
+    ] {
         assert!(spans.iter().any(|s| s.name == name), "trace must contain a {name} span");
     }
     let mut waves: Vec<u64> =

@@ -28,6 +28,8 @@
 //! fuel accounting across all apps and variants.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use dpcons_sim::{BlockCtx, BlockResult, KernelId, LaunchSpec, SimError};
 
@@ -40,6 +42,43 @@ use crate::interp::{
 
 /// Sentinel register index meaning "absent" (`Atomic.old`, `Atomic.v2`).
 const NONE_REG: u16 = u16::MAX;
+
+// ------------------------------------------------------------------------
+// Peephole-fusion gate.
+// ------------------------------------------------------------------------
+
+/// Process-wide fusion override: 0 = none (env decides), 1 = on, 2 = off.
+static FUSE_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+fn env_fuse() -> bool {
+    static ENV: OnceLock<bool> = OnceLock::new();
+    *ENV.get_or_init(|| !matches!(std::env::var("DPCONS_FUSE").as_deref(), Ok("off") | Ok("0")))
+}
+
+/// Whether `lower_kernel` runs the peephole-fusion pass: the process-wide
+/// override if set, else `DPCONS_FUSE` (`off`/`0` disables; anything else —
+/// including unset — enables). Fusion happens at **install** (lowering time),
+/// so flipping this affects subsequently-installed modules only.
+pub fn fusion_enabled() -> bool {
+    match FUSE_OVERRIDE.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => env_fuse(),
+    }
+}
+
+/// Force fusion on/off for subsequently-lowered modules (`None` restores
+/// `DPCONS_FUSE`/default selection). Process-global, like
+/// [`crate::interp::set_engine_override`]: differential tests flip it around
+/// `install` to pin unfused bytecode as a third oracle.
+pub fn set_fusion_override(on: Option<bool>) {
+    let v = match on {
+        None => 0,
+        Some(true) => 1,
+        Some(false) => 2,
+    };
+    FUSE_OVERRIDE.store(v, Ordering::Relaxed);
+}
 
 /// Warp-invariant special values (lane-indexed at execution time).
 #[derive(Debug, Clone, Copy)]
@@ -135,6 +174,29 @@ pub(crate) enum Op {
     ForStepI { var: u16, step: i64 },
     /// Unconditional branch.
     Jump { to: u32 },
+    /// Placeholder left by the fusion pass; compacted away before execution.
+    Nop,
+    // --- Fused pairs (see `fuse_ops`). Each fused op executes its two
+    // --- constituents back-to-back — including every register write, fault
+    // --- check, and cost charge, in the original order — so captures are
+    // --- bit-identical with fusion on or off; the win is one dispatch.
+    /// `Load`→`Bin`: `t = mem[h[i]]`, then `dst = t op other`
+    /// (`load_lhs`) or `dst = other op t` (total ops only).
+    LoadBin { t: u16, h: u16, i: u16, dst: u16, op: BinOp, other: u16, load_lhs: bool },
+    /// `Load`→`BinImm`: `t = mem[h[i]]`, then `dst = t op imm`.
+    LoadBinImm { t: u16, h: u16, i: u16, dst: u16, op: BinOp, v: i64 },
+    /// `Bin`→`Store`: `t = a op b`, then `mem[h[i]] = t`.
+    BinStore { t: u16, op: BinOp, a: u16, b: u16, h: u16, i: u16 },
+    /// `BinImm`→`Store`: `t = a op imm`, then `mem[h[i]] = t`.
+    BinImmStore { t: u16, op: BinOp, a: u16, v: i64, h: u16, i: u16 },
+    /// Compare→branch: `t = a op b`, then [`Op::IfSplit`] on `t`.
+    BinIf { t: u16, op: BinOp, a: u16, b: u16, save: u16, else_to: u32 },
+    /// Compare-imm→branch: `t = a op imm`, then [`Op::IfSplit`] on `t`.
+    BinImmIf { t: u16, op: BinOp, a: u16, v: i64, save: u16, else_to: u32 },
+    /// Compare→loop: `t = a op b`, then [`Op::CondLoop`] on `t`.
+    BinCondLoop { t: u16, op: BinOp, a: u16, b: u16, exit: u32 },
+    /// Compare-imm→loop: `t = a op imm`, then [`Op::CondLoop`] on `t`.
+    BinImmCondLoop { t: u16, op: BinOp, a: u16, v: i64, exit: u32 },
 }
 
 /// A kernel lowered to flat bytecode, produced once per module install.
@@ -167,7 +229,128 @@ pub fn lower_kernel(k: &CKernel) -> ByteKernel {
     let checks = lw.lower_list(&k.body);
     let end = lw.pc();
     lw.patch_checks(checks, end);
-    ByteKernel { ops: lw.ops, n_slots: k.n_slots, n_regs: lw.max_tp, n_masks: lw.max_masks }
+    let mut ops = lw.ops;
+    if fusion_enabled() {
+        fuse_ops(&mut ops);
+    }
+    ByteKernel { ops, n_slots: k.n_slots, n_regs: lw.max_tp, n_masks: lw.max_masks }
+}
+
+// ------------------------------------------------------------------------
+// Peephole fusion.
+// ------------------------------------------------------------------------
+
+/// Fuse an adjacent op pair into one dispatch, or `None`. The fused op runs
+/// both constituents in the original order with all their register writes,
+/// so any aliasing between the pair's operands behaves exactly as unfused.
+/// `Div`/`Rem` never fuse (they keep the masked faulting path).
+fn fuse_pair(first: &Op, second: &Op) -> Option<Op> {
+    match (*first, *second) {
+        (Op::Load { dst: t, h, i }, Op::Bin { dst, op, a, b })
+            if !matches!(op, BinOp::Div | BinOp::Rem) && (a == t || b == t) =>
+        {
+            // Exactly one operand register can be encoded next to `t`; when
+            // both alias `t` (`t op t`), `other == t` still reads the loaded
+            // row, preserving semantics.
+            let (other, load_lhs) = if b == t { (a, false) } else { (b, true) };
+            Some(Op::LoadBin { t, h, i, dst, op, other, load_lhs })
+        }
+        (Op::Load { dst: t, h, i }, Op::BinImm { dst, op, a, v }) if a == t => {
+            Some(Op::LoadBinImm { t, h, i, dst, op, v })
+        }
+        (Op::Bin { dst: t, op, a, b }, Op::Store { h, i, v })
+            if !matches!(op, BinOp::Div | BinOp::Rem) && v == t =>
+        {
+            Some(Op::BinStore { t, op, a, b, h, i })
+        }
+        (Op::BinImm { dst: t, op, a, v }, Op::Store { h, i, v: sv }) if sv == t => {
+            Some(Op::BinImmStore { t, op, a, v, h, i })
+        }
+        (Op::Bin { dst: t, op, a, b }, Op::IfSplit { c, save, else_to })
+            if !matches!(op, BinOp::Div | BinOp::Rem) && c == t =>
+        {
+            Some(Op::BinIf { t, op, a, b, save, else_to })
+        }
+        (Op::BinImm { dst: t, op, a, v }, Op::IfSplit { c, save, else_to }) if c == t => {
+            Some(Op::BinImmIf { t, op, a, v, save, else_to })
+        }
+        (Op::Bin { dst: t, op, a, b }, Op::CondLoop { c, exit })
+            if !matches!(op, BinOp::Div | BinOp::Rem) && c == t =>
+        {
+            Some(Op::BinCondLoop { t, op, a, b, exit })
+        }
+        (Op::BinImm { dst: t, op, a, v }, Op::CondLoop { c, exit }) if c == t => {
+            Some(Op::BinImmCondLoop { t, op, a, v, exit })
+        }
+        _ => None,
+    }
+}
+
+/// Peephole post-pass over lowered bytecode: fuse value-chained adjacent
+/// pairs (`Load→Bin[Imm]`, `Bin[Imm]→Store`, compare→branch) into single
+/// dispatches, then compact the `Nop` placeholders out and remap every jump
+/// target. A pair only fuses when its second op is not a jump target, so no
+/// surviving target can land inside (or after the start of) a fused pair —
+/// which is also why the remap below never maps a target onto a removed slot.
+fn fuse_ops(ops: &mut Vec<Op>) {
+    let n = ops.len();
+    // 1. Mark jump targets (`n + 1` entries: `SeqCheck.end` may equal `n`).
+    let mut is_target = vec![false; n + 1];
+    for op in ops.iter() {
+        match *op {
+            Op::ScSplit { skip, .. } => is_target[skip as usize] = true,
+            Op::SeqCheck { end } | Op::ElseJoin { end, .. } => is_target[end as usize] = true,
+            Op::IfSplit { else_to, .. } => is_target[else_to as usize] = true,
+            Op::LoopIter { exit, .. }
+            | Op::CondLoop { exit, .. }
+            | Op::ForCond { exit, .. }
+            | Op::ForCondI { exit, .. } => is_target[exit as usize] = true,
+            Op::Jump { to } => is_target[to as usize] = true,
+            _ => {}
+        }
+    }
+    // 2. Fuse non-overlapping pairs in place, leaving `Nop` placeholders.
+    let mut i = 0;
+    while i + 1 < n {
+        if !is_target[i + 1] {
+            if let Some(f) = fuse_pair(&ops[i], &ops[i + 1]) {
+                ops[i] = f;
+                ops[i + 1] = Op::Nop;
+                i += 2;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    // 3. Compact: a `Nop` still costs a dispatch, so drop them and rewrite
+    // every jump target through the old→new pc map.
+    let mut map = Vec::with_capacity(n + 1);
+    let mut new_pc = 0u32;
+    for op in ops.iter() {
+        map.push(new_pc);
+        if !matches!(op, Op::Nop) {
+            new_pc += 1;
+        }
+    }
+    map.push(new_pc);
+    ops.retain(|op| !matches!(op, Op::Nop));
+    for op in ops.iter_mut() {
+        match op {
+            Op::ScSplit { skip, .. } => *skip = map[*skip as usize],
+            Op::SeqCheck { end } | Op::ElseJoin { end, .. } => *end = map[*end as usize],
+            Op::IfSplit { else_to, .. }
+            | Op::BinIf { else_to, .. }
+            | Op::BinImmIf { else_to, .. } => *else_to = map[*else_to as usize],
+            Op::LoopIter { exit, .. }
+            | Op::CondLoop { exit, .. }
+            | Op::ForCond { exit, .. }
+            | Op::ForCondI { exit, .. }
+            | Op::BinCondLoop { exit, .. }
+            | Op::BinImmCondLoop { exit, .. } => *exit = map[*exit as usize],
+            Op::Jump { to } => *to = map[*to as usize],
+            _ => {}
+        }
+    }
 }
 
 /// Can executing these statements set the warp's `returned` mask? Lists where
@@ -742,23 +925,49 @@ impl Vm<'_, '_, '_> {
         if self.mask != 0 && eq & self.mask == self.mask {
             let a = self.ctx.mem.handle_from_value(h0)?;
             let (base, len) = self.ctx.mem.base_len(a)?;
-            for_lanes!(self.mask, l, {
-                let iv = self.regs[ib][l];
-                match usize::try_from(iv) {
+            // Scalar addressing (one cell read by every active lane — parent
+            // state like `row[u]` in delegated child kernels) collapses to a
+            // single resolved address: coalescing 32 copies of one address
+            // yields the same one-transaction group, so cycles are untouched.
+            let i0 = self.regs[ib][first.min(31)];
+            let mut eqi = 0u32;
+            for (l, v) in self.regs[ib].iter().enumerate() {
+                eqi |= ((*v == i0) as u32) << l;
+            }
+            if eqi & self.mask == self.mask {
+                match usize::try_from(i0) {
                     Ok(idx) if idx < len => {
                         self.addrs.push(base + idx as u64);
-                        self.sites[l] = (a, idx);
+                        self.sites = [(a, idx); 32];
                     }
                     _ => {
                         return Err(SimError::OutOfBounds {
                             array: self.ctx.mem.label(a).unwrap_or("?").to_string(),
                             handle: h0,
-                            index: iv,
+                            index: i0,
                             len,
                         });
                     }
                 }
-            });
+            } else {
+                for_lanes!(self.mask, l, {
+                    let iv = self.regs[ib][l];
+                    match usize::try_from(iv) {
+                        Ok(idx) if idx < len => {
+                            self.addrs.push(base + idx as u64);
+                            self.sites[l] = (a, idx);
+                        }
+                        _ => {
+                            return Err(SimError::OutOfBounds {
+                                array: self.ctx.mem.label(a).unwrap_or("?").to_string(),
+                                handle: h0,
+                                index: iv,
+                                len,
+                            });
+                        }
+                    }
+                });
+            }
         } else {
             for_lanes!(self.mask, l, {
                 let (a, idx) = resolve_addr(self.ctx.mem, self.regs[hb][l], self.regs[ib][l])?;
@@ -770,6 +979,56 @@ impl Vm<'_, '_, '_> {
         self.cur.dram += new_tx;
         self.charge(cycles, self.mask);
         Ok(())
+    }
+
+    /// Total-op `dst = a op b`: full-width vectorized on full warps, masked
+    /// scalar otherwise (the shared tail of `Bin` and the fused pairs).
+    #[inline]
+    fn bin_total(&mut self, dst: u16, op: BinOp, a: u16, b: u16) {
+        let (av, bv) = (self.regs[a as usize], self.regs[b as usize]);
+        if self.mask == u32::MAX {
+            vector_binop(op, &av, &bv, &mut self.regs[dst as usize]);
+        } else {
+            let d = &mut self.regs[dst as usize];
+            for_lanes!(self.mask, l, {
+                d[l] = scalar_binop_total(op, av[l], bv[l]);
+            });
+        }
+    }
+
+    /// Total-op `dst = a op imm` (constant RHS splat only on the vector path).
+    #[inline]
+    fn bin_imm_total(&mut self, dst: u16, op: BinOp, a: u16, v: i64) {
+        let av = self.regs[a as usize];
+        if self.mask == u32::MAX {
+            let bv = [v; 32];
+            vector_binop(op, &av, &bv, &mut self.regs[dst as usize]);
+        } else {
+            let d = &mut self.regs[dst as usize];
+            for_lanes!(self.mask, l, {
+                d[l] = scalar_binop_total(op, av[l], v);
+            });
+        }
+    }
+
+    /// Read the sites resolved by the last `group_cost` into `dst`.
+    #[inline]
+    fn load_sites(&mut self, dst: u16) {
+        let db = dst as usize;
+        for_lanes!(self.mask, l, {
+            let (a, idx) = self.sites[l];
+            self.regs[db][l] = self.ctx.mem.read_validated(a, idx);
+        });
+    }
+
+    /// Write register `v` to the sites resolved by the last `group_cost`.
+    #[inline]
+    fn store_sites(&mut self, v: u16) {
+        let vb = v as usize;
+        for_lanes!(self.mask, l, {
+            let (a, idx) = self.sites[l];
+            self.ctx.mem.write_validated(a, idx, self.regs[vb][l]);
+        });
     }
 
     fn run(&mut self, ops: &[Op]) -> Result<(), SimError> {
@@ -857,37 +1116,14 @@ impl Vm<'_, '_, '_> {
                         });
                         self.regs[dst as usize] = out;
                     }
-                    _ if self.mask == u32::MAX => {
-                        let (av, bv) = (self.regs[a as usize], self.regs[b as usize]);
-                        vector_binop(op, &av, &bv, &mut self.regs[dst as usize]);
-                    }
-                    _ => {
-                        let (av, bv) = (self.regs[a as usize], self.regs[b as usize]);
-                        let d = &mut self.regs[dst as usize];
-                        for_lanes!(self.mask, l, {
-                            d[l] = scalar_binop_total(op, av[l], bv[l]);
-                        });
-                    }
+                    _ => self.bin_total(dst, op, a, b),
                 },
                 Op::BinImm { dst, op, a, v } => {
-                    let av = self.regs[a as usize];
-                    if self.mask == u32::MAX {
-                        let bv = [v; 32];
-                        vector_binop(op, &av, &bv, &mut self.regs[dst as usize]);
-                    } else {
-                        let d = &mut self.regs[dst as usize];
-                        for_lanes!(self.mask, l, {
-                            d[l] = scalar_binop_total(op, av[l], v);
-                        });
-                    }
+                    self.bin_imm_total(dst, op, a, v);
                 }
                 Op::Load { dst, h, i } => {
                     self.group_cost(h, i)?;
-                    let db = dst as usize;
-                    for_lanes!(self.mask, l, {
-                        let (a, idx) = self.sites[l];
-                        self.regs[db][l] = self.ctx.mem.read_validated(a, idx);
-                    });
+                    self.load_sites(dst);
                 }
                 Op::ScSplit { dst, a, is_and, save, skip } => {
                     let av = self.regs[a as usize];
@@ -927,11 +1163,7 @@ impl Vm<'_, '_, '_> {
                 }
                 Op::Store { h, i, v } => {
                     self.group_cost(h, i)?;
-                    let vb = v as usize;
-                    for_lanes!(self.mask, l, {
-                        let (a, idx) = self.sites[l];
-                        self.ctx.mem.write_validated(a, idx, self.regs[vb][l]);
-                    });
+                    self.store_sites(v);
                 }
                 Op::Atomic { op, old, h, i, v, v2 } => {
                     self.group_cost(h, i)?;
@@ -1003,10 +1235,12 @@ impl Vm<'_, '_, '_> {
                         let block_l = launch_dim(self.kname, "block", l, self.regs[bb][l])?;
                         self.cur.cycles += lc;
                         self.cur.active += lc;
-                        let args = (0..n_args as usize)
+                        // Collect straight into the shared `Arc<[i64]>`: one
+                        // allocation per launch, cloned by refcount after.
+                        let args: Arc<[i64]> = (0..n_args as usize)
                             .map(|a| self.regs[args_at as usize + a][l])
                             .collect();
-                        self.arena.push(LaunchSpec::new(kid, grid_l, block_l, args));
+                        self.arena.push(LaunchSpec::with_shared_args(kid, grid_l, block_l, args));
                     });
                 }
                 Op::Sync => self.cut(Boundary::Sync),
@@ -1148,6 +1382,71 @@ impl Vm<'_, '_, '_> {
                 Op::Jump { to } => {
                     pc = to as usize;
                 }
+                // Fused pairs: each arm is its two constituent arms run
+                // back-to-back (same order, same writes, same fault points),
+                // so behaviour is bit-identical to the unfused sequence.
+                Op::LoadBin { t, h, i, dst, op, other, load_lhs } => {
+                    self.group_cost(h, i)?;
+                    self.load_sites(t);
+                    let (a, b) = if load_lhs { (t, other) } else { (other, t) };
+                    self.bin_total(dst, op, a, b);
+                }
+                Op::LoadBinImm { t, h, i, dst, op, v } => {
+                    self.group_cost(h, i)?;
+                    self.load_sites(t);
+                    self.bin_imm_total(dst, op, t, v);
+                }
+                Op::BinStore { t, op, a, b, h, i } => {
+                    self.bin_total(t, op, a, b);
+                    self.group_cost(h, i)?;
+                    self.store_sites(t);
+                }
+                Op::BinImmStore { t, op, a, v, h, i } => {
+                    self.bin_imm_total(t, op, a, v);
+                    self.group_cost(h, i)?;
+                    self.store_sites(t);
+                }
+                Op::BinIf { t, op, a, b, save, else_to } => {
+                    self.bin_total(t, op, a, b);
+                    let tm = nonzero_lanes(&self.regs[t as usize]) & self.mask;
+                    self.masks[save as usize] = self.mask;
+                    self.masks[save as usize + 1] = self.mask & !tm;
+                    if tm == 0 {
+                        pc = else_to as usize;
+                    } else {
+                        self.mask = tm;
+                    }
+                }
+                Op::BinImmIf { t, op, a, v, save, else_to } => {
+                    self.bin_imm_total(t, op, a, v);
+                    let tm = nonzero_lanes(&self.regs[t as usize]) & self.mask;
+                    self.masks[save as usize] = self.mask;
+                    self.masks[save as usize + 1] = self.mask & !tm;
+                    if tm == 0 {
+                        pc = else_to as usize;
+                    } else {
+                        self.mask = tm;
+                    }
+                }
+                Op::BinCondLoop { t, op, a, b, exit } => {
+                    self.bin_total(t, op, a, b);
+                    let next = nonzero_lanes(&self.regs[t as usize]) & self.mask;
+                    if next == 0 {
+                        pc = exit as usize;
+                    } else {
+                        self.mask = next;
+                    }
+                }
+                Op::BinImmCondLoop { t, op, a, v, exit } => {
+                    self.bin_imm_total(t, op, a, v);
+                    let next = nonzero_lanes(&self.regs[t as usize]) & self.mask;
+                    if next == 0 {
+                        pc = exit as usize;
+                    } else {
+                        self.mask = next;
+                    }
+                }
+                Op::Nop => {}
             }
         }
         Ok(())

@@ -648,11 +648,14 @@ impl WarpExec<'_, '_, '_> {
                         let block_l = launch_dim(&self.k.name, "block", l, b[l])?;
                         self.cur.cycles += costs.device_launch_cycles;
                         self.cur.active += costs.device_launch_cycles;
-                        self.arena.push(LaunchSpec::new(
+                        // Collect straight into the shared `Arc<[i64]>` so the
+                        // argument vector is allocated exactly once per launch.
+                        let args: Arc<[i64]> = argv.iter().map(|v| v[l]).collect();
+                        self.arena.push(LaunchSpec::with_shared_args(
                             self.ids[*target],
                             grid_l,
                             block_l,
-                            argv.iter().map(|v| v[l]).collect(),
+                            args,
                         ));
                     }
                 }
@@ -842,7 +845,7 @@ impl WarpExec<'_, '_, '_> {
 
 pub(crate) fn assemble_block(
     k: &CKernel,
-    ctx: &BlockCtx<'_>,
+    ctx: &mut BlockCtx<'_>,
     traces: &[Vec<Chunk>],
     arena: &[LaunchSpec],
 ) -> Result<BlockResult, SimError> {
@@ -871,7 +874,14 @@ pub(crate) fn assemble_block(
     let sync_warp = syncing.first().copied().unwrap_or(0);
     let w0_segments: Vec<Vec<&Chunk>> = split_segments(&traces[sync_warp]);
     let nseg = w0_segments.len();
-    let mut segments: Vec<SegmentResult> = (0..nseg).map(|_| SegmentResult::default()).collect();
+    // Segment/launch buffers come from the capture arena's recycled pools:
+    // once the arena is warm (second candidate onward) block assembly stops
+    // allocating result storage entirely.
+    let mut segments: Vec<SegmentResult> = ctx.pools.take_segments();
+    segments.extend((0..nseg).map(|_| SegmentResult {
+        launches: ctx.pools.take_launches(),
+        ..SegmentResult::default()
+    }));
 
     // Phase-aware duration for segment 0: align warp phases (chunks split at
     // Sync) when all warps agree on the phase count; otherwise fall back to

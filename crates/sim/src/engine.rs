@@ -16,11 +16,13 @@
 //! transformation can be checked for exact output equivalence) while the
 //! timing model reproduces the contention phenomena the paper analyses.
 
+use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::sync::{Arc, OnceLock};
 
 use crate::alloc::{AllocKind, DeviceHeap};
+use crate::arena::CaptureArena;
 use crate::config::GpuConfig;
 use crate::kernel::{BlockCtx, BlockResult, FuelMeter, KernelBody, KernelId, LaunchSpec};
 use crate::mem::GlobalMem;
@@ -50,6 +52,15 @@ fn replays_counter() -> &'static obs::Counter {
 /// device fleet adds no functional work.
 pub fn functional_execs_total() -> u64 {
     functional_execs_counter().get()
+}
+
+thread_local! {
+    /// Per-thread capture arena for [`Engine::launch`]/[`Engine::launch_traced`],
+    /// whose records are consumed (replayed + summarized) within the call.
+    /// Thread-local rather than per-engine so tuner worker threads reuse
+    /// capacities across candidates — each candidate gets a fresh `Engine`,
+    /// but the worker thread (and its warmed arena) persists for the wave.
+    static LAUNCH_ARENA: RefCell<CaptureArena> = RefCell::new(CaptureArena::new());
 }
 
 /// One kernel execution captured by the functional phase.
@@ -130,11 +141,18 @@ impl Engine {
         // `ProfileReport::merge` instead of each carrying the running total.
         let allocs_before = self.heap.stats.allocs;
         let alloc_cycles_before = self.heap.stats.alloc_cycles;
-        let records = self.capture(spec)?;
-        let mut report = self.replay_timing(&records);
-        report.alloc_ops = self.heap.stats.allocs - allocs_before;
-        report.alloc_cycles = self.heap.stats.alloc_cycles - alloc_cycles_before;
-        Ok((report, crate::trace::summarize(&records)))
+        // The records of a launch die with the call, so they are captured
+        // into a per-thread arena: the next launch on this thread (e.g. the
+        // next candidate a tuner worker evaluates) resets it and inherits
+        // every buffer capacity instead of re-allocating the DAG.
+        LAUNCH_ARENA.with(|cell| {
+            let mut arena = cell.borrow_mut();
+            self.capture_into(spec, &mut arena)?;
+            let mut report = self.replay_timing(arena.records());
+            report.alloc_ops = self.heap.stats.allocs - allocs_before;
+            report.alloc_cycles = self.heap.stats.alloc_cycles - alloc_cycles_before;
+            Ok((report, crate::trace::summarize(arena.records())))
+        })
     }
 
     /// Run only the **functional phase**: execute the launch DAG
@@ -146,8 +164,25 @@ impl Engine {
     /// different device description) can do so without paying the functional
     /// re-execution.
     pub fn capture(&mut self, spec: LaunchSpec) -> Result<Vec<ExecRecord>, SimError> {
+        let mut arena = CaptureArena::new();
+        self.capture_into(spec, &mut arena)?;
+        Ok(arena.take_records())
+    }
+
+    /// [`Engine::capture`] into a caller-owned [`CaptureArena`]: the arena is
+    /// reset first (recycling any previous capture's buffer capacities) and
+    /// then filled; read the DAG back via [`CaptureArena::records`]. This is
+    /// the allocation-free path for callers that capture repeatedly — tuner
+    /// waves, microbenches — where [`Engine::capture`]'s owned `Vec` return
+    /// would discard the buffers after every candidate.
+    pub fn capture_into(
+        &mut self,
+        spec: LaunchSpec,
+        arena: &mut CaptureArena,
+    ) -> Result<(), SimError> {
         let _span = obs::span("sim.capture");
-        self.functional_phase(spec)
+        arena.reset();
+        self.functional_phase(spec, arena)
     }
 
     /// Timing-only replay of a previously [`Engine::capture`]d launch DAG on
@@ -187,9 +222,12 @@ impl Engine {
 
     // ---------------------------------------------------------- Phase A ----
 
-    fn functional_phase(&mut self, root: LaunchSpec) -> Result<Vec<ExecRecord>, SimError> {
+    fn functional_phase(
+        &mut self,
+        root: LaunchSpec,
+        arena: &mut CaptureArena,
+    ) -> Result<(), SimError> {
         self.validate_spec(&root, 0)?;
-        let mut records: Vec<ExecRecord> = Vec::new();
         let mut queue: VecDeque<(LaunchSpec, u32, Option<(usize, u32, usize)>)> = VecDeque::new();
         queue.push_back((root, 0, None));
 
@@ -198,13 +236,14 @@ impl Engine {
         // allocated capacity, so the hot functional loop stops reallocating.
         let mut touched = crate::kernel::SegSet::default();
         while let Some((spec, depth, parent)) = queue.pop_front() {
-            if records.len() >= self.max_kernel_execs {
+            if arena.records.len() >= self.max_kernel_execs {
                 return Err(SimError::KernelExecLimit { limit: self.max_kernel_execs });
             }
             functional_execs_counter().inc();
-            let rec_id = records.len();
+            let rec_id = arena.records.len();
             let body = Arc::clone(&self.kernels[spec.kernel]);
-            let mut blocks = Vec::with_capacity(spec.grid as usize);
+            let mut blocks = arena.blocks_pool.pop().unwrap_or_default();
+            blocks.reserve(spec.grid as usize);
             for b in 0..spec.grid {
                 self.fuel.spend(1)?;
                 touched.clear();
@@ -220,17 +259,20 @@ impl Engine {
                     cost: &self.gpu.costs,
                     touched_segments: &mut touched,
                     fuel: &mut self.fuel,
+                    pools: &mut arena.pools,
                 };
                 let result = body.run_block(&mut ctx)?;
                 for (s, seg) in result.segments.iter().enumerate() {
                     for child in &seg.launches {
                         self.validate_spec(child, depth + 1)?;
+                        // `LaunchSpec.args` is an `Arc<[i64]>`, so this clone
+                        // is a refcount bump, not an argument-vector copy.
                         queue.push_back((child.clone(), depth + 1, Some((rec_id, b, s))));
                     }
                 }
                 blocks.push(result);
             }
-            records.push(ExecRecord {
+            arena.records.push(ExecRecord {
                 regs_per_thread: body.regs_per_thread(),
                 shared_bytes: body.shared_bytes(),
                 spec,
@@ -239,7 +281,7 @@ impl Engine {
                 blocks,
             });
         }
-        Ok(records)
+        Ok(())
     }
 
     fn validate_spec(&self, spec: &LaunchSpec, depth: u32) -> Result<(), SimError> {

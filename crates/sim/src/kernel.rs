@@ -13,8 +13,10 @@
 //! "Synchronization Overhead").
 
 use std::collections::HashSet;
+use std::sync::Arc;
 
 use crate::alloc::DeviceHeap;
+use crate::arena::CapturePools;
 use crate::config::CostModel;
 use crate::mem::GlobalMem;
 use crate::SimError;
@@ -31,11 +33,22 @@ pub struct LaunchSpec {
     /// Threads per block.
     pub block: u32,
     /// Scalar arguments (array handles are passed as their `ArrayId` value).
-    pub args: Vec<i64>,
+    /// Shared, immutable: a launch spec travels from the issuing warp's
+    /// launch buffer into the captured segment *and* the functional BFS
+    /// queue, so the argument vector is interned behind an `Arc` once at
+    /// creation and every subsequent clone is a refcount bump instead of a
+    /// heap copy (equality and `Debug` still see the values).
+    pub args: Arc<[i64]>,
 }
 
 impl LaunchSpec {
     pub fn new(kernel: KernelId, grid: u32, block: u32, args: Vec<i64>) -> Self {
+        LaunchSpec { kernel, grid, block, args: args.into() }
+    }
+
+    /// Build a spec around an already-interned argument vector (the executors
+    /// use this to share one allocation across clone sites).
+    pub fn with_shared_args(kernel: KernelId, grid: u32, block: u32, args: Arc<[i64]>) -> Self {
         LaunchSpec { kernel, grid, block, args }
     }
 }
@@ -190,6 +203,12 @@ pub struct BlockCtx<'a> {
     /// bodies charge loop iterations against it so runaway candidates fault
     /// deterministically instead of spinning.
     pub fuel: &'a mut FuelMeter,
+    /// Recycled result-buffer capacities from the capture arena: kernel
+    /// bodies pop segment/launch buffers here instead of allocating, and
+    /// [`crate::CaptureArena::reset`] scavenges them back when the records
+    /// are discarded. Popping is optional — an empty pool hands out fresh
+    /// buffers — so hand-written [`KernelBody`] impls can ignore it.
+    pub pools: &'a mut CapturePools,
 }
 
 /// The functional behaviour of a kernel.

@@ -21,7 +21,10 @@
 //! output equivalence) followed by a discrete-event timing phase that
 //! produces cycle counts and profiler metrics.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod alloc;
+pub mod arena;
 pub mod config;
 pub mod engine;
 pub mod kernel;
@@ -30,6 +33,7 @@ pub mod profiler;
 pub mod trace;
 
 pub use alloc::{AllocKind, DeviceHeap, HeapStats};
+pub use arena::{CaptureArena, CapturePools};
 pub use config::{parse_fleet, CostModel, FleetSpecError, GpuConfig};
 pub use engine::{functional_execs_total, Engine, ExecRecord};
 pub use kernel::{

@@ -20,7 +20,7 @@
 use std::sync::{Mutex, PoisonError};
 
 use dpcons_apps::{all_benchmarks, AppError, AppOutcome, Profile, RunConfig, Variant};
-use dpcons_ir::{set_engine_override, ExecEngine};
+use dpcons_ir::{set_engine_override, set_fusion_override, ExecEngine};
 use dpcons_sim::SimError;
 
 /// The engine override is process-global; every test in this binary holds
@@ -62,6 +62,35 @@ fn run_everything(engine: ExecEngine) -> Vec<(String, String, AppOutcome)> {
     out
 }
 
+/// Assert two full sweeps are bit-identical in every observable: functional
+/// output, host loop, profile report, allocator stats, and every captured
+/// `ExecRecord` DAG. `axis` names the dimension being compared in failures.
+fn assert_sweeps_identical(
+    a: &[(String, String, AppOutcome)],
+    b: &[(String, String, AppOutcome)],
+    axis: &str,
+) {
+    assert_eq!(a.len(), b.len());
+    assert!(!a.is_empty());
+    for ((app, variant, x), (app_b, variant_b, y)) in a.iter().zip(b) {
+        assert_eq!((app, variant), (app_b, variant_b), "sweep order must be deterministic");
+        let ctx = format!("{app} ({variant}) [{axis}]");
+        assert_eq!(x.output, y.output, "{ctx}: functional output diverged");
+        assert_eq!(x.host_iterations, y.host_iterations, "{ctx}: host loop diverged");
+        assert_eq!(x.report, y.report, "{ctx}: profile (cycles/active/dram) diverged");
+        let (xc, yc) = (
+            x.captures.as_ref().expect("capture enabled"),
+            y.captures.as_ref().expect("capture enabled"),
+        );
+        assert_eq!(xc.alloc_ops, yc.alloc_ops, "{ctx}: allocator ops diverged");
+        assert_eq!(xc.alloc_cycles, yc.alloc_cycles, "{ctx}: allocator cycles diverged");
+        assert_eq!(xc.launches.len(), yc.launches.len(), "{ctx}: host-launch count diverged");
+        for (li, (xl, yl)) in xc.launches.iter().zip(&yc.launches).enumerate() {
+            assert_eq!(xl, yl, "{ctx}: captured ExecRecord DAG of host launch {li} diverged");
+        }
+    }
+}
+
 /// All 7 apps × all variants: outputs, reports, and captured `ExecRecord`
 /// DAGs are bit-identical between the bytecode VM and the tree walker.
 #[test]
@@ -69,25 +98,24 @@ fn both_executors_agree_on_every_app_and_variant() {
     let _guard = ENGINE_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
     let bytecode = run_everything(ExecEngine::Bytecode);
     let tree = run_everything(ExecEngine::Tree);
-    assert_eq!(bytecode.len(), tree.len());
-    assert!(!bytecode.is_empty());
-    for ((app, variant, b), (app_t, variant_t, t)) in bytecode.iter().zip(&tree) {
-        assert_eq!((app, variant), (app_t, variant_t), "sweep order must be deterministic");
-        let ctx = format!("{app} ({variant})");
-        assert_eq!(b.output, t.output, "{ctx}: functional output diverged");
-        assert_eq!(b.host_iterations, t.host_iterations, "{ctx}: host loop diverged");
-        assert_eq!(b.report, t.report, "{ctx}: profile (cycles/active/dram) diverged");
-        let (bc, tc) = (
-            b.captures.as_ref().expect("capture enabled"),
-            t.captures.as_ref().expect("capture enabled"),
-        );
-        assert_eq!(bc.alloc_ops, tc.alloc_ops, "{ctx}: allocator ops diverged");
-        assert_eq!(bc.alloc_cycles, tc.alloc_cycles, "{ctx}: allocator cycles diverged");
-        assert_eq!(bc.launches.len(), tc.launches.len(), "{ctx}: host-launch count diverged");
-        for (li, (bl, tl)) in bc.launches.iter().zip(&tc.launches).enumerate() {
-            assert_eq!(bl, tl, "{ctx}: captured ExecRecord DAG of host launch {li} diverged");
-        }
-    }
+    assert_sweeps_identical(&bytecode, &tree, "bytecode vs tree");
+}
+
+/// All 7 apps × all variants: peephole-fused bytecode (`DPCONS_FUSE` on, the
+/// default) is bit-identical to unfused bytecode in every observable. The
+/// fusion override is process-global and applies at lowering (install) time,
+/// so it is flipped under the same lock as the engine override; every
+/// `app.run` builds a fresh session and re-installs its module, so each
+/// sweep really lowers under its own setting.
+#[test]
+fn fused_bytecode_is_bit_identical_to_unfused() {
+    let _guard = ENGINE_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    set_fusion_override(Some(true));
+    let fused = run_everything(ExecEngine::Bytecode);
+    set_fusion_override(Some(false));
+    let unfused = run_everything(ExecEngine::Bytecode);
+    set_fusion_override(None);
+    assert_sweeps_identical(&fused, &unfused, "fused vs unfused");
 }
 
 /// Fuel/watchdog parity: both executors spend functional fuel at identical
@@ -132,4 +160,10 @@ fn fuel_exhaustion_fires_at_the_same_step_count_in_both_executors() {
     let t = min_fuel(ExecEngine::Tree);
     assert_eq!(b, t, "minimal completing fuel budget must match across executors");
     assert!(b > 1, "the probe workload must actually spend fuel");
+    // Peephole fusion must not move the fuel-spend points either: the fused
+    // VM charges fuel per block step exactly like the unfused one.
+    set_fusion_override(Some(false));
+    let unfused = min_fuel(ExecEngine::Bytecode);
+    set_fusion_override(None);
+    assert_eq!(b, unfused, "fusion changed the minimal completing fuel budget");
 }

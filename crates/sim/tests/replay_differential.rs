@@ -12,7 +12,9 @@
 //! live execution, every fleet datapoint would silently be wrong.
 
 use dpcons_apps::{all_benchmarks, Profile, RunConfig, Variant};
-use dpcons_sim::{AllocKind, Engine};
+use dpcons_ir::dsl::*;
+use dpcons_ir::{install, Module};
+use dpcons_sim::{AllocKind, ArrayId, CaptureArena, Engine, GpuConfig, LaunchSpec};
 
 /// capture + replay_timing ≡ launch, and replay_timing_on(same device) ≡
 /// both, for every (app, variant) pair.
@@ -58,6 +60,88 @@ fn capture_replay_matches_fresh_launch_for_every_app_and_granularity() {
             });
         }
     });
+}
+
+/// A small dynamic-parallelism "app": parent delegates work to per-thread
+/// child launches. Returns a fresh engine, its root spec, and the output
+/// array, so every capture below starts from identical initial state.
+fn build_app_a() -> (Engine, LaunchSpec, ArrayId) {
+    let mut e = Engine::new(GpuConfig::tiny(), AllocKind::PreAlloc, 1 << 16);
+    let out = e.mem.alloc_array_init("out", vec![0; 64]);
+    let child = KernelBuilder::new("child").array("out").scalar("base").body(vec![store(
+        v("out"),
+        add(v("base"), tid()),
+        add(v("base"), tid()),
+    )]);
+    let parent = KernelBuilder::new("parent").array("out").body(vec![when(
+        eq(rem(tid(), i(2)), i(0)),
+        vec![launch("child", i(1), i(4), vec![v("out"), mul(tid(), i(4))])],
+    )]);
+    let mut m = Module::new();
+    m.add(child);
+    m.add(parent);
+    let ids = install(&mut e, &m).expect("module installs");
+    let spec = LaunchSpec::new(ids["parent"], 2, 8, vec![out as i64]);
+    (e, spec, out)
+}
+
+/// A structurally different app: two-deep nesting through a device-side
+/// sync, different grid shape and argument counts than app A.
+fn build_app_b() -> (Engine, LaunchSpec, ArrayId) {
+    let mut e = Engine::new(GpuConfig::tiny(), AllocKind::PreAlloc, 1 << 16);
+    let out = e.mem.alloc_array_init("acc", vec![0; 32]);
+    let leaf = KernelBuilder::new("leaf")
+        .array("acc")
+        .scalar("slot")
+        .scalar("val")
+        .body(vec![atomic_add(None, v("acc"), v("slot"), v("val"))]);
+    let mid = KernelBuilder::new("mid").array("acc").scalar("slot").body(vec![
+        launch("leaf", i(1), i(2), vec![v("acc"), v("slot"), add(tid(), i(1))]),
+        device_sync(),
+        atomic_add(None, v("acc"), v("slot"), i(100)),
+    ]);
+    let root = KernelBuilder::new("root")
+        .array("acc")
+        .body(vec![when(lt(tid(), i(3)), vec![launch("mid", i(1), i(2), vec![v("acc"), tid()])])]);
+    let mut m = Module::new();
+    m.add(leaf);
+    m.add(mid);
+    m.add(root);
+    let ids = install(&mut e, &m).expect("module installs");
+    let spec = LaunchSpec::new(ids["root"], 1, 4, vec![out as i64]);
+    (e, spec, out)
+}
+
+/// Arena reuse leaks no state: capturing two *different* apps back to back
+/// through one reused [`CaptureArena`] yields record DAGs, functional memory,
+/// and replay timings byte-for-byte identical to fresh-arena captures.
+#[test]
+fn arena_reuse_leaks_no_state_across_captures() {
+    // Fresh-arena baselines, each on its own engine.
+    let (mut ea, spec_a, out_a) = build_app_a();
+    let fresh_a = ea.capture(spec_a).expect("app A captures");
+    let (mut eb, spec_b, out_b) = build_app_b();
+    let fresh_b = eb.capture(spec_b).expect("app B captures");
+    assert!(fresh_a.len() > 1 && fresh_b.len() > 1, "both apps must actually nest launches");
+
+    // The same two captures through one reused arena.
+    let mut arena = CaptureArena::new();
+    let (mut ea2, spec_a2, out_a2) = build_app_a();
+    ea2.capture_into(spec_a2, &mut arena).expect("app A captures into the arena");
+    assert_eq!(arena.records(), &fresh_a[..], "app A records diverged on the shared arena");
+    assert_eq!(ea2.mem.slice(out_a2), ea.mem.slice(out_a), "app A memory diverged");
+    assert_eq!(ea2.replay_timing(arena.records()), ea.replay_timing(&fresh_a));
+
+    let (mut eb2, spec_b2, out_b2) = build_app_b();
+    eb2.capture_into(spec_b2, &mut arena).expect("app B captures into the reused arena");
+    assert_eq!(
+        arena.records(),
+        &fresh_b[..],
+        "a reused arena leaked prior-capture state into app B's records"
+    );
+    assert_eq!(eb2.mem.slice(out_b2), eb.mem.slice(out_b), "app B memory diverged");
+    assert_eq!(eb2.replay_timing(arena.records()), eb.replay_timing(&fresh_b));
+    assert!(arena.reuses() >= 1, "the second capture must have recycled the arena");
 }
 
 /// `Engine::replay_timing_on` never populates allocator statistics — they

@@ -629,29 +629,37 @@ fn fleet_attempt(
             Some(caps) => {
                 // The capture run's own report *is* the replay on fleet[0]
                 // (pinned bit-exact by replay_differential.rs), so only the
-                // other devices need a fresh replay. Replays are pure over
-                // `&CaptureSet`, so the remaining devices are re-timed in
-                // parallel; a panicking replay poisons only this candidate.
+                // other devices need a fresh replay. Each remaining device is
+                // priced through the batched parallel entry
+                // ([`crate::replay::replay_timing_many_robust`]): every
+                // captured host-launch DAG re-timed concurrently, then merged
+                // in launch order so the result is bit-identical to a serial
+                // `CaptureSet::replay_on`. A panicking replay poisons only
+                // this candidate.
                 let cell_of = |r: &dpcons_sim::ProfileReport| DeviceCell {
                     cycles: r.total_cycles,
                     dram_transactions: r.dram_transactions,
                     warp_exec_efficiency: r.warp_exec_efficiency,
                     achieved_occupancy: r.achieved_occupancy,
                 };
-                let jobs: Vec<_> =
-                    fleet[1..].iter().map(|d| move || cell_of(&caps.replay_on(d))).collect();
+                let dags: Vec<&[dpcons_sim::ExecRecord]> =
+                    caps.launches.iter().map(|l| l.as_slice()).collect();
                 let mut cells = Vec::with_capacity(fleet.len());
                 cells.push(cell_of(&out.report));
                 let mut panicked = None;
-                for r in parallel_map_robust(jobs) {
-                    match r {
-                        Ok(cell) => cells.push(cell),
-                        Err(msg) => {
-                            dpcons_obs::counter("tune.replay.panicked").inc();
-                            panicked = Some(msg);
-                            break;
+                'devices: for d in &fleet[1..] {
+                    let mut reports = Vec::with_capacity(dags.len());
+                    for r in crate::replay::replay_timing_many_robust(d, &dags) {
+                        match r {
+                            Ok(rep) => reports.push(rep),
+                            Err(msg) => {
+                                dpcons_obs::counter("tune.replay.panicked").inc();
+                                panicked = Some(msg);
+                                break 'devices;
+                            }
                         }
                     }
+                    cells.push(cell_of(&crate::replay::merge_reports(&reports)));
                 }
                 match panicked {
                     Some(msg) => FleetStatus::Panicked(format!("timing replay panicked: {msg}")),
